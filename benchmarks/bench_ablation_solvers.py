@@ -1,0 +1,66 @@
+"""Ablation B: LP backend (the paper used LOQO's interior point method,
+noting it beats simplex on large problems).
+
+Our from-scratch simplex vs scipy/HiGHS on the same EBF instances: the
+optimum is identical (EBF is an exact LP); timing favors HiGHS as size
+grows — the modern analogue of the paper's LOQO-vs-simplex remark.
+"""
+
+import pytest
+from conftest import load_scaled, save_output
+
+from repro.analysis import Table
+from repro.ebf import DelayBounds, solve_lubt
+from repro.geometry import manhattan_radius_from
+from repro.topology import nearest_neighbor_topology
+
+
+@pytest.fixture(scope="module")
+def instance():
+    # Keep it small enough for the dense tableau simplex.
+    bench = load_scaled("prim1").scaled(24)
+    sinks = list(bench.sinks)
+    topo = nearest_neighbor_topology(sinks, bench.source)
+    radius = manhattan_radius_from(bench.source, sinks)
+    bounds = DelayBounds.uniform(bench.num_sinks, 0.8 * radius, 1.2 * radius)
+    return bench, topo, bounds
+
+
+def test_backend_equivalence(instance, benchmark):
+    bench, topo, bounds = instance
+    own = benchmark.pedantic(
+        solve_lubt,
+        args=(topo, bounds),
+        kwargs={"backend": "simplex", "mode": "full", "check_bounds": False},
+        rounds=1,
+        iterations=1,
+    )
+    highs = solve_lubt(topo, bounds, backend="scipy", mode="full", check_bounds=False)
+    assert own.cost == pytest.approx(highs.cost, rel=1e-6)
+
+    t = Table(
+        ["backend", "LP iterations", "seconds", "cost"],
+        title=f"Ablation B (LP backend) on {bench.name}",
+    )
+    for sol in (own, highs):
+        t.add_row(
+            sol.stats.backend,
+            sol.stats.lp_iterations,
+            sol.stats.wall_seconds,
+            sol.cost,
+        )
+    save_output("ablation_solvers.txt", t.render())
+
+
+def test_simplex_timing(instance, benchmark):
+    _, topo, bounds = instance
+    benchmark(
+        solve_lubt, topo, bounds, backend="simplex", mode="full", check_bounds=False
+    )
+
+
+def test_scipy_timing(instance, benchmark):
+    _, topo, bounds = instance
+    benchmark(
+        solve_lubt, topo, bounds, backend="scipy", mode="full", check_bounds=False
+    )

@@ -1,0 +1,106 @@
+"""Wire elongation vs delay-buffer insertion for hold fixing (Section 1).
+
+The paper's claim: meeting a *lower* delay bound (a hold/short-path
+constraint) by lengthening wires "will take less area and consumes less
+power than buffer insertion".  This bench fixes the same hold floor two
+ways on the same net, under the Elmore model:
+
+* **wire-only** — Elmore-EBF (Section 7) with lower bound = floor;
+* **delay buffers** — keep the minimum tree and chain delay buffers in
+  front of every too-fast sink (each adds ``d0 + r_b * C_sink`` of
+  delay and ``c_in`` of switched capacitance).
+
+The van Ginneken DP is also exercised in its native role (speeding the
+net up), confirming the buffered tree beats the plain tree's max delay —
+the case where buffers, not wires, are the right tool.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from conftest import load_scaled, save_output
+
+from repro.analysis import Table
+from repro.baselines import Buffer, van_ginneken
+from repro.delay import (
+    ElmoreParameters,
+    downstream_capacitance,
+    sink_delays_elmore,
+)
+from repro.ebf import DelayBounds, solve_lubt, solve_lubt_elmore
+from repro.geometry import Point
+from repro.topology import nearest_neighbor_topology
+
+PARAMS = ElmoreParameters(
+    wire_resistance=0.05, wire_capacitance=0.05, default_sink_cap=1.0
+)
+BUF = Buffer(input_cap=2.0, intrinsic_delay=2.0, output_resistance=2.0)
+R_SRC = 2.0
+
+
+@pytest.fixture(scope="module")
+def instance():
+    bench = load_scaled("prim1").scaled(14)
+    sinks = [Point(s.x / 50.0, s.y / 50.0) for s in bench.sinks]
+    topo = nearest_neighbor_topology(sinks, Point(70.0, 70.0))
+    base = solve_lubt(topo, DelayBounds.unbounded(topo.num_sinks))
+    return topo, base
+
+
+def test_hold_fixing_wire_vs_buffers(instance, benchmark):
+    topo, base = instance
+    m = topo.num_sinks
+    d0 = sink_delays_elmore(topo, base.edge_lengths, PARAMS)
+    floor = float(np.percentile(d0, 60))  # hold floor above ~60% of sinks
+    loose_u = float(d0.max()) * 1.5
+
+    # (a) wire-only elongation via the Elmore EBF.
+    wire = benchmark.pedantic(
+        solve_lubt_elmore,
+        args=(topo, DelayBounds.uniform(m, floor, loose_u), PARAMS),
+        rounds=1,
+        iterations=1,
+    )
+    assert np.all(wire.delays >= floor - 1e-6)
+    extra_wire = wire.cost - base.cost
+    wire_cap = PARAMS.wire_capacitance * extra_wire
+
+    # (b) delay buffers chained in front of each too-fast sink.
+    buffers = 0
+    for i in range(1, m + 1):
+        short = floor - d0[i - 1]
+        if short <= 0:
+            continue
+        per_buf = BUF.intrinsic_delay + BUF.output_resistance * PARAMS.sink_cap(i)
+        buffers += int(math.ceil(short / per_buf))
+    buffer_cap = BUF.input_cap * buffers
+    assert buffers > 0
+
+    t = Table(
+        ["strategy", "extra wire", "buffers", "added switched C"],
+        title=f"hold fixing to floor {floor:.1f} "
+        f"(delays were [{d0.min():.1f}, {d0.max():.1f}])",
+    )
+    t.add_row("wire elongation (LUBT)", extra_wire, 0, wire_cap)
+    t.add_row("delay buffers", 0.0, buffers, buffer_cap)
+    verdict = (
+        "wire elongation cheaper"
+        if wire_cap < buffer_cap
+        else "buffers cheaper"
+    )
+    out = t.render() + f"\n-> {verdict} on this net/library"
+
+    # The DP in its native role: speeding the net up.
+    vg = van_ginneken(
+        topo, base.edge_lengths, PARAMS, BUF, source_resistance=R_SRC
+    )
+    plain = R_SRC * downstream_capacitance(topo, base.edge_lengths, PARAMS)[0] + float(
+        d0.max()
+    )
+    out += (
+        f"\n\nvan Ginneken speedup reference: plain max delay {plain:.1f} -> "
+        f"{vg.max_delay:.1f} with {vg.num_buffers} buffers"
+    )
+    assert vg.max_delay <= plain + 1e-9
+    save_output("buffering.txt", out)

@@ -1,0 +1,93 @@
+"""Extension benchmark: EBF under the Elmore delay model (Section 7).
+
+Small clock nets; the convex case (l = 0) and a bounded window, with the
+Steiner constraints intact.  Reports cost and realized Elmore delays, and
+times the SLSQP solve.
+"""
+
+import numpy as np
+import pytest
+from conftest import load_scaled, save_output
+
+from repro.analysis import Table
+from repro.delay import ElmoreParameters, sink_delays_elmore
+from repro.ebf import DelayBounds, solve_lubt, solve_lubt_elmore
+from repro.geometry import Point
+from repro.topology import nearest_neighbor_topology
+
+PARAMS = ElmoreParameters(
+    wire_resistance=0.03, wire_capacitance=0.02, default_sink_cap=1.0
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    bench = load_scaled("r1").scaled(16)
+    # Shrink coordinates so quadratic Elmore terms stay well-conditioned.
+    sinks = [Point(s.x / 100.0, s.y / 100.0) for s in bench.sinks]
+    topo = nearest_neighbor_topology(sinks, Point(500.0, 500.0))
+    return bench, topo
+
+
+def test_elmore_windows(instance, benchmark):
+    bench, topo = instance
+    m = topo.num_sinks
+    relaxed = benchmark.pedantic(
+        solve_lubt, args=(topo, DelayBounds.unbounded(m)), rounds=1, iterations=1
+    )
+    d0 = sink_delays_elmore(topo, relaxed.edge_lengths, PARAMS)
+    u_ref = float(d0.max())
+
+    t = Table(
+        ["case", "lower", "upper", "cost", "min delay", "max delay"],
+        title=f"Elmore-delay EBF on {bench.name} (16 sinks)",
+    )
+    for label, lo, hi in (
+        ("convex (global routing)", 0.0, 1.3 * u_ref),
+        ("convex tight", 0.0, 1.05 * u_ref),
+        ("bounded window", 1.02 * u_ref, 1.5 * u_ref),
+    ):
+        sol = solve_lubt_elmore(
+            topo, DelayBounds.uniform(m, lo, hi), PARAMS
+        )
+        assert np.all(sol.delays >= lo - 1e-5)
+        assert np.all(sol.delays <= hi + 1e-5)
+        t.add_row(label, lo, hi, sol.cost, float(sol.delays.min()), float(sol.delays.max()))
+
+    # Reference: Tsay's exact zero-skew DME under Elmore on the same
+    # topology — and the linear-model ZST's skew when judged by Elmore.
+    from repro.baselines import elmore_zero_skew_tree
+    from repro.ebf import solve_zero_skew
+
+    tz = elmore_zero_skew_tree(
+        list(topo.sink_locations), PARAMS, topo.source_location, topology=topo
+    )
+    t.add_row(
+        "Tsay exact zero skew [4]",
+        tz.longest_delay,
+        tz.longest_delay,
+        tz.cost,
+        tz.shortest_delay,
+        tz.longest_delay,
+    )
+    lin = solve_zero_skew(topo)
+    d_lin = sink_delays_elmore(topo, lin.edge_lengths, PARAMS)
+    t.add_row(
+        "linear ZST judged by Elmore",
+        float("nan"),
+        float("nan"),
+        lin.cost,
+        float(d_lin.min()),
+        float(d_lin.max()),
+    )
+    assert tz.skew <= 1e-6 * max(1.0, tz.longest_delay)
+    save_output("elmore.txt", t.render())
+
+
+def test_elmore_timing(instance, benchmark):
+    _, topo = instance
+    m = topo.num_sinks
+    relaxed = solve_lubt(topo, DelayBounds.unbounded(m))
+    d0 = sink_delays_elmore(topo, relaxed.edge_lengths, PARAMS)
+    bounds = DelayBounds.uniform(m, 0.0, float(d0.max()) * 1.3)
+    benchmark(solve_lubt_elmore, topo, bounds, PARAMS)

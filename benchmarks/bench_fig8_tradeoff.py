@@ -1,0 +1,30 @@
+"""Figure 8: tree cost vs [lower, upper] bounds tradeoff (prim2).
+
+Sweeps window widths x positions on the prim2 surrogate, saves the data
+series and an ASCII rendering, and asserts the monotone surface shape.
+"""
+
+from conftest import load_scaled, save_output
+
+from repro.experiments import render_fig8, run_fig8
+from repro.experiments.fig8 import ascii_plot
+
+
+def test_fig8_tradeoff(benchmark):
+    bench = load_scaled("prim2")
+
+    points = run_fig8(bench)
+    save_output(
+        "fig8_prim2.txt", render_fig8(points) + "\n\n" + ascii_plot(points)
+    )
+
+    # Corner checks of the surface: the zero-skew corner (w=0, l=1) is the
+    # most expensive point; the loosest corner is the cheapest.
+    corner_costs = {(p.width, p.lower): p.cost for p in points}
+    max_cost = max(p.cost for p in points)
+    min_cost = min(p.cost for p in points)
+    assert corner_costs[(0.0, 1.0)] == max_cost
+    widest = max(p.width for p in points)
+    assert corner_costs[(widest, 0.0)] == min_cost
+
+    benchmark(run_fig8, bench, widths=(0.5,), lowers=(0.5,))

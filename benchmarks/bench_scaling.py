@@ -1,0 +1,65 @@
+"""Scaling study: LUBT solve cost vs net size.
+
+Not a paper table, but the performance claim behind Section 4.6 and the
+LOQO remark deserves data: how do lazy row generation and the HiGHS
+backend scale with sink count?  Produces a table of sink count vs
+constraints used, rounds, and wall time, and benchmarks a mid-size solve.
+"""
+
+import pytest
+from conftest import full_run, load_scaled, save_output
+
+from repro.analysis import Table
+from repro.data import load_benchmark
+from repro.ebf import DelayBounds, solve_lubt
+from repro.geometry import manhattan_radius_from
+from repro.topology import nearest_neighbor_topology
+
+SIZES_QUICK = (16, 32, 64, 128)
+SIZES_FULL = (16, 32, 64, 128, 256, 603)
+
+
+def _solve_at(size):
+    bench = load_benchmark("prim2").scaled(size)
+    sinks = list(bench.sinks)
+    topo = nearest_neighbor_topology(sinks, bench.source)
+    radius = manhattan_radius_from(bench.source, sinks)
+    bounds = DelayBounds.uniform(size, 0.8 * radius, 1.2 * radius)
+    return solve_lubt(topo, bounds, check_bounds=False)
+
+
+def test_scaling_table(benchmark):
+    sizes = SIZES_FULL if full_run() else SIZES_QUICK
+    t = Table(
+        [
+            "sinks",
+            "possible rows",
+            "rows used",
+            "used %",
+            "rounds",
+            "seconds",
+            "cost",
+        ],
+        title="LUBT scaling on prim2 prefixes (lazy mode, window [0.8, 1.2])",
+    )
+    fractions = []
+    for size in sizes:
+        sol = _solve_at(size)
+        frac = sol.stats.steiner_rows / max(1, sol.stats.total_pairs)
+        fractions.append(frac)
+        t.add_row(
+            size,
+            sol.stats.total_pairs,
+            sol.stats.steiner_rows,
+            f"{100 * frac:.1f}%",
+            sol.stats.rounds,
+            sol.stats.wall_seconds,
+            sol.cost,
+        )
+    save_output("scaling.txt", t.render())
+
+    # The fraction of Steiner rows needed must SHRINK as nets grow —
+    # the whole point of the Section 4.6 reduction.
+    assert fractions[-1] < fractions[0]
+
+    benchmark(_solve_at, sizes[2])

@@ -1,0 +1,28 @@
+"""Table 1: bounded-skew baseline vs LUBT over the paper's skew bounds.
+
+Regenerates the full table per benchmark (saved to ``out/table1_*.txt``)
+and times the core row protocol (baseline run + LUBT solve at skew 0.5)
+with pytest-benchmark.
+"""
+
+import math
+
+from conftest import load_scaled, save_output
+
+from repro.experiments import render_table1, run_table1
+from repro.experiments.table1 import PAPER_SKEW_BOUNDS, run_table1_row
+
+
+def test_table1_rows(bench_name, benchmark):
+    bench = load_scaled(bench_name)
+
+    rows = run_table1(bench, skew_bounds=PAPER_SKEW_BOUNDS)
+    save_output(f"table1_{bench_name}.txt", render_table1(rows))
+
+    # Shape assertions beyond the driver's built-ins.
+    assert all(r.lubt_cost <= r.baseline_cost + 1e-6 for r in rows)
+    zero = next(r for r in rows if r.skew_bound == 0.0)
+    inf_row = next(r for r in rows if math.isinf(r.skew_bound))
+    assert inf_row.baseline_cost <= zero.baseline_cost + 1e-6
+
+    benchmark(run_table1_row, bench, 0.5)

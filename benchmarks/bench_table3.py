@@ -1,0 +1,25 @@
+"""Table 3: global-routing and bounded-longest-delay bound combinations.
+
+All four benchmarks, the paper's eight (lower, upper) combinations; the
+driver's built-in monotonicity shape checks run on every invocation.
+"""
+
+from conftest import load_scaled, save_output
+
+from repro.experiments import render_table3, run_table3
+
+
+def test_table3_bounds(bench_name, benchmark):
+    bench = load_scaled(bench_name)
+
+    rows = run_table3(bench)
+    save_output(f"table3_{bench_name}.txt", render_table3(rows))
+
+    # The zero-skew-like window [0.99, 1] must be the most expensive row.
+    worst = max(rows, key=lambda r: r.cost)
+    assert worst.lower == 0.99
+    # [0, 2] must be the cheapest or tied.
+    best = min(rows, key=lambda r: r.cost)
+    assert best.lower == 0.0
+
+    benchmark(run_table3, bench, combos=((0.5, 1.0),))

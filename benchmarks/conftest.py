@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one table/figure of the paper, prints it,
+and stores the rendered text under ``benchmarks/out/`` (consumed by
+EXPERIMENTS.md).  Default sink counts are scaled down so the whole
+harness completes in minutes; set ``FULL=1`` to run paper-scale nets
+(269/603/267/862 sinks).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.data import Benchmark, load_benchmark
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Scaled-down sink counts for the default (quick) benchmark run.
+QUICK_SIZES = {"prim1": 48, "prim2": 64, "r1": 48, "r3": 64}
+
+
+def full_run() -> bool:
+    return os.environ.get("FULL", "") == "1"
+
+
+def load_scaled(name: str) -> Benchmark:
+    bench = load_benchmark(name)
+    if not full_run():
+        bench = bench.scaled(QUICK_SIZES[name])
+    return bench
+
+
+def save_output(filename: str, text: str) -> None:
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / filename).write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(params=["prim1", "prim2", "r1", "r3"])
+def bench_name(request) -> str:
+    return request.param

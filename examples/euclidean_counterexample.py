@@ -1,0 +1,57 @@
+"""Why EBF needs the Manhattan metric (Section 4.7, Figure 4).
+
+Three sinks at the corners of a unit equilateral triangle.  The edge
+lengths e1 = e2 = e3 = 1/2 satisfy every Steiner constraint
+(e_i + e_j >= 1), yet in the *Euclidean* metric no root location is
+within 1/2 of all three sinks: the three disks intersect pairwise but
+share no common point — the Helly property fails for disks (footnote 3).
+In the *Manhattan* metric the same construction always works, because
+L1 balls are boxes in rotated coordinates and boxes satisfy Helly.
+
+Run:  python examples/euclidean_counterexample.py
+"""
+
+import math
+
+from repro.geometry import (
+    Disk,
+    Point,
+    TRR,
+    disks_have_common_point,
+    helly_intersection,
+    manhattan,
+    pairwise_disks_intersect,
+)
+
+
+def main() -> None:
+    sinks = [
+        Point(0.0, 0.0),
+        Point(1.0, 0.0),
+        Point(0.5, math.sqrt(3.0) / 2.0),
+    ]
+    print("sinks on a unit equilateral triangle:")
+    for i, s in enumerate(sinks, 1):
+        print(f"  s{i} = {s}")
+
+    print("\nEuclidean: edge lengths 1/2 satisfy the Steiner constraints,")
+    disks = [Disk(s, 0.5) for s in sinks]
+    print(f"  disks intersect pairwise:  {pairwise_disks_intersect(disks)}")
+    print(f"  common root location:      {disks_have_common_point(disks)}")
+    print(f"  (circumradius 1/sqrt(3) = {1 / math.sqrt(3):.4f} > 0.5,")
+    print("   so the constraint-satisfying lengths are NOT embeddable)")
+
+    print("\nManhattan: repeat with L1 balls of half the L1 diameter,")
+    d = max(manhattan(a, b) for a in sinks for b in sinks)
+    balls = [TRR.square(s, d / 2.0) for s in sinks]
+    common = helly_intersection(balls)
+    print(f"  pairwise L1 distances max: {d:g}, ball radius: {d / 2:g}")
+    print(f"  common intersection empty: {common.is_empty()}")
+    print(f"  a feasible root location:  {common.center()}")
+    print("\nThis is exactly why the paper restricts EBF to the Manhattan")
+    print("plane: Lemma 10.1 (Helly for TRRs) is what makes Theorem 4.1's")
+    print("embedding guarantee true.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""The whole library in one flow, the way a physical-design script
+would use it.
+
+1. load a net from a pin-list file (written here for self-containment);
+2. generate a bounds-guided topology (Section 9 future work);
+3. solve the LUBT LP for a tolerable-skew window (Section 6);
+4. read the delay-bound shadow prices (LP duality) to find which hold
+   constraints are paying wire;
+5. account clock power vs the buffer-insertion alternative (Section 1);
+6. embed and export SVG + JSON artifacts.
+
+Run:  python examples/full_flow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import DelayBounds, solve_and_embed
+from repro.analysis import (
+    PowerParameters,
+    buffers_for_hold,
+    delay_sensitivities,
+    save_svg,
+    tree_power,
+)
+from repro.data import clustered_sinks, load_sinks_file
+from repro.ebf.bounds import radius_of
+from repro.ebf.solver import solve_lubt
+from repro.topology import bounds_guided_topology, save_tree
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="lubt_flow_"))
+
+    # --- 1. a net on disk -------------------------------------------------
+    net_file = workdir / "clock_net.pins"
+    sinks_gen = clustered_sinks(40, seed=13, width=3000, height=3000)
+    net_file.write_text(
+        "source 1500 1500\n"
+        + "\n".join(f"{p.x:.1f} {p.y:.1f}" for p in sinks_gen)
+    )
+    source, sinks, _ = load_sinks_file(net_file)
+    print(f"loaded {len(sinks)} sinks from {net_file.name}")
+
+    # --- 2. topology guided by the requested window -----------------------
+    probe = bounds_guided_topology(
+        sinks, DelayBounds.uniform(len(sinks), 0.0, 1e12), source
+    )
+    r = radius_of(probe)
+    bounds = DelayBounds.tolerable_skew(
+        len(sinks), upper=1.15 * r, skew=0.15 * r
+    )
+    topo = bounds_guided_topology(sinks, bounds, source)
+
+    # --- 3. the LP ---------------------------------------------------------
+    sol, tree = solve_and_embed(topo, bounds, check_bounds=False)
+    print(f"tree cost {sol.cost:,.1f}; skew {sol.skew / r:.3f} x radius; "
+          f"{sol.stats.steiner_rows}/{sol.stats.total_pairs} Steiner rows, "
+          f"{sol.stats.rounds} lazy rounds")
+
+    # --- 4. who pays for the hold bound? -----------------------------------
+    _, sens = delay_sensitivities(topo, bounds, check_bounds=False)
+    binding = [s for s in sens if s.lower_binding]
+    total_price = sum(s.lower_price for s in binding)
+    print(f"{len(binding)} sinks sit on the hold bound; marginal cost "
+          f"{total_price:.2f} wire per unit of hold margin")
+
+    # --- 5. power: elongation vs buffers ------------------------------------
+    power = PowerParameters(buffer_input_cap=50.0, buffer_delay=r / 20)
+    relaxed = solve_lubt(
+        topo,
+        DelayBounds.uniform(len(sinks), 0.0, 1.15 * r),
+        check_bounds=False,
+    )
+    n_buf = buffers_for_hold(relaxed.delays, bounds.lower[0], power)
+    buffered = tree_power(topo, relaxed.edge_lengths, power, buffers=n_buf,
+                          strategy="buffers")
+    elongated = tree_power(topo, sol.edge_lengths, power)
+    print(f"clock power: elongation {elongated.power:,.0f} vs "
+          f"buffers {buffered.power:,.0f} ({n_buf} buffers)")
+
+    # --- 6. artifacts --------------------------------------------------------
+    svg_path = workdir / "clock_tree.svg"
+    json_path = workdir / "clock_tree.json"
+    save_svg(svg_path, tree, size=640, label_sinks=False)
+    save_tree(json_path, topo, sol.edge_lengths, tree.placements)
+    print(f"artifacts: {svg_path}\n           {json_path}")
+
+
+if __name__ == "__main__":
+    main()

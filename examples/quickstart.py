@@ -1,0 +1,69 @@
+"""Quickstart: solve one LUBT instance end to end.
+
+Builds a small clock net, generates a topology, solves the EBF linear
+program for minimum wirelength under delay bounds, embeds the tree in the
+Manhattan plane, and prints everything a designer would look at.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    DelayBounds,
+    Point,
+    embed_tree,
+    nearest_neighbor_topology,
+    solve_lubt,
+)
+from repro.ebf.bounds import radius_of
+
+
+def main() -> None:
+    # A 6-sink net with the clock source at the die center.
+    sinks = [
+        Point(10, 10),
+        Point(90, 15),
+        Point(85, 80),
+        Point(20, 85),
+        Point(50, 95),
+        Point(60, 5),
+    ]
+    source = Point(50, 50)
+
+    # 1. Topology: bottom-up nearest-neighbor merge (all sinks are
+    #    leaves, so a solution exists for any valid bounds — Lemma 3.1).
+    topo = nearest_neighbor_topology(sinks, source)
+    radius = radius_of(topo)
+    print(f"topology: {topo}")
+    print(f"radius (source to farthest sink): {radius:g}")
+
+    # 2. Bounds: every sink's delay within [0.9, 1.2] x radius.
+    bounds = DelayBounds.normalized(topo, 0.9, 1.2)
+
+    # 3. Solve the Edge-Based Formulation LP.
+    sol = solve_lubt(topo, bounds)
+    print(f"\nminimum tree cost: {sol.cost:g}")
+    print(f"sink delays (radius units): "
+          f"{[round(d / radius, 3) for d in sol.delays]}")
+    print(f"skew: {sol.skew / radius:.3f} x radius")
+    print(f"LP stats: {sol.stats.steiner_rows} Steiner rows used of "
+          f"{sol.stats.total_pairs} possible, "
+          f"{sol.stats.rounds} lazy round(s), backend {sol.stats.backend}")
+
+    # 4. Embed: recover Steiner point coordinates (Theorem 4.1
+    #    guarantees this always succeeds for an EBF solution).
+    tree = embed_tree(topo, sol.edge_lengths)
+    print("\nplacements:")
+    for node in range(topo.num_nodes):
+        kind = topo.kind(node).value
+        print(f"  {kind:8s} s_{node}: {tree.placements[node]}")
+    print(f"drawn wirelength: {tree.drawn_wirelength:g}  "
+          f"(detour/elongation: {tree.elongation:g})")
+
+    # 5. Eyeball it.
+    from repro.analysis import render_tree
+
+    print("\n" + render_tree(tree, width=64, height=20))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Route a benchmark surrogate and export the tree as SVG + ASCII.
+
+Builds the prim1 surrogate (scaled to 64 sinks for speed), solves a
+tolerable-skew LUBT, and writes ``lubt_prim1.svg`` next to this script —
+open it in any browser.  Dashed wires are *elongated* (their electrical
+length exceeds the drawn span: the serpentine detours the paper trades
+against delay buffers).
+
+Run:  python examples/visualize_benchmark.py
+"""
+
+from pathlib import Path
+
+from repro import DelayBounds, nearest_neighbor_topology, solve_and_embed
+from repro.analysis import render_tree, save_svg
+from repro.data import load_benchmark
+from repro.ebf.bounds import radius_of
+
+
+def main() -> None:
+    bench = load_benchmark("prim1").scaled(64)
+    topo = nearest_neighbor_topology(list(bench.sinks), bench.source)
+    r = radius_of(topo)
+    bounds = DelayBounds.tolerable_skew(
+        bench.num_sinks, upper=1.1 * r, skew=0.2 * r
+    )
+
+    sol, tree = solve_and_embed(topo, bounds)
+    print(f"{bench.name}: {bench.num_sinks} sinks, radius {r:,.0f}")
+    print(f"tree cost {sol.cost:,.1f}, skew {sol.skew / r:.3f} x radius, "
+          f"elongation {tree.elongation:,.1f}")
+
+    out = Path(__file__).parent / "lubt_prim1.svg"
+    save_svg(out, tree, size=720, label_sinks=False)
+    print(f"wrote {out}")
+
+    print("\nterminal preview:")
+    print(render_tree(tree, width=70, height=24))
+
+
+if __name__ == "__main__":
+    main()

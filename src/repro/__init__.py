@@ -1,0 +1,91 @@
+"""LUBT: Lower and Upper Bounded delay routing Trees via linear programming.
+
+Reproduction of Oh, Pyo, Pedram, "Constructing Lower and Upper Bounded
+Delay Routing Trees Using Linear Programming" (USC CENG 96-05 / DAC 1996).
+
+Quickstart::
+
+    from repro import (
+        Point, DelayBounds, nearest_neighbor_topology, solve_lubt, embed_tree,
+    )
+
+    sinks = [Point(0, 0), Point(40, 10), Point(25, 30)]
+    topo = nearest_neighbor_topology(sinks, source=Point(20, 20))
+    bounds = DelayBounds.normalized(topo, 0.8, 1.2)   # radius units
+    solution = solve_lubt(topo, bounds)
+    tree = embed_tree(topo, solution.edge_lengths)
+    print(solution.cost, tree.placements)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.geometry import Point, TRR, manhattan
+from repro.topology import (
+    Topology,
+    nearest_neighbor_topology,
+    balanced_bipartition_topology,
+    star_topology,
+    chain_topology,
+    split_high_degree_steiner,
+)
+from repro.delay import (
+    ElmoreParameters,
+    sink_delays_linear,
+    sink_delays_elmore,
+    tree_cost,
+    skew,
+)
+from repro.ebf import (
+    DelayBounds,
+    BoundsError,
+    LubtSolution,
+    solve_lubt,
+    solve_zero_skew,
+    solve_lubt_elmore,
+)
+from repro.embedding import EmbeddedTree, embed_tree, solve_and_embed
+from repro.baselines import (
+    BaselineTree,
+    bounded_skew_tree,
+    zero_skew_tree,
+    shortest_path_tree,
+)
+from repro.data import load_benchmark, benchmark_names
+from repro.lp import InfeasibleError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Point",
+    "TRR",
+    "manhattan",
+    "Topology",
+    "nearest_neighbor_topology",
+    "balanced_bipartition_topology",
+    "star_topology",
+    "chain_topology",
+    "split_high_degree_steiner",
+    "ElmoreParameters",
+    "sink_delays_linear",
+    "sink_delays_elmore",
+    "tree_cost",
+    "skew",
+    "DelayBounds",
+    "BoundsError",
+    "LubtSolution",
+    "solve_lubt",
+    "solve_zero_skew",
+    "solve_lubt_elmore",
+    "EmbeddedTree",
+    "embed_tree",
+    "solve_and_embed",
+    "BaselineTree",
+    "bounded_skew_tree",
+    "zero_skew_tree",
+    "shortest_path_tree",
+    "load_benchmark",
+    "benchmark_names",
+    "InfeasibleError",
+    "__version__",
+]

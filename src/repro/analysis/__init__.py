@@ -1,0 +1,42 @@
+"""Metrics, validation, and paper-style table rendering."""
+
+from repro.analysis.metrics import (
+    TreeMetrics,
+    measure_solution,
+    measure_baseline,
+    normalize_to_radius,
+)
+from repro.analysis.validate import validate_lubt_solution
+from repro.analysis.tables import Table
+from repro.analysis.plot import render_tree
+from repro.analysis.svg import tree_to_svg, save_svg
+from repro.analysis.power import (
+    PowerParameters,
+    PowerReport,
+    tree_power,
+    buffers_for_hold,
+)
+from repro.analysis.sensitivity import (
+    SinkSensitivity,
+    delay_sensitivities,
+    sensitivities_from_solution,
+)
+
+__all__ = [
+    "render_tree",
+    "tree_to_svg",
+    "save_svg",
+    "PowerParameters",
+    "PowerReport",
+    "tree_power",
+    "buffers_for_hold",
+    "SinkSensitivity",
+    "delay_sensitivities",
+    "sensitivities_from_solution",
+    "TreeMetrics",
+    "measure_solution",
+    "measure_baseline",
+    "normalize_to_radius",
+    "validate_lubt_solution",
+    "Table",
+]

@@ -1,0 +1,59 @@
+"""Tree quality metrics in the paper's reporting conventions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.bounded_skew import BaselineTree
+from repro.ebf.bounds import radius_of
+from repro.ebf.solver import LubtSolution
+from repro.topology import Topology
+
+
+@dataclass(frozen=True)
+class TreeMetrics:
+    """The columns the paper reports per tree."""
+
+    cost: float
+    shortest_delay: float
+    longest_delay: float
+    skew: float
+    radius: float
+
+    @property
+    def shortest_normalized(self) -> float:
+        return self.shortest_delay / self.radius if self.radius else 0.0
+
+    @property
+    def longest_normalized(self) -> float:
+        return self.longest_delay / self.radius if self.radius else 0.0
+
+    @property
+    def skew_normalized(self) -> float:
+        return self.skew / self.radius if self.radius else 0.0
+
+
+def measure_solution(sol: LubtSolution) -> TreeMetrics:
+    return TreeMetrics(
+        cost=sol.cost,
+        shortest_delay=sol.shortest_delay,
+        longest_delay=sol.longest_delay,
+        skew=sol.skew,
+        radius=radius_of(sol.topology),
+    )
+
+
+def measure_baseline(tree: BaselineTree) -> TreeMetrics:
+    return TreeMetrics(
+        cost=tree.cost,
+        shortest_delay=tree.shortest_delay,
+        longest_delay=tree.longest_delay,
+        skew=tree.skew,
+        radius=radius_of(tree.topology),
+    )
+
+
+def normalize_to_radius(topo: Topology, value: float) -> float:
+    """Express an absolute delay as a multiple of the topology radius."""
+    r = radius_of(topo)
+    return value / r if r else 0.0

@@ -1,0 +1,67 @@
+"""Terminal rendering of embedded routing trees.
+
+No plotting dependency: trees are rasterized onto a character grid with
+L-shaped wires, which is enough to eyeball topology, detours, and sink
+spread in examples and bug reports.
+
+Legend: ``S`` source, digits/``*`` sinks, ``+`` Steiner point, ``-``/``|``
+wire.
+"""
+
+from __future__ import annotations
+
+from repro.embedding.pipeline import EmbeddedTree
+from repro.geometry import Point
+
+
+def render_tree(
+    tree: EmbeddedTree, width: int = 72, height: int = 28
+) -> str:
+    """Rasterize an embedded tree to ASCII art."""
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    topo = tree.topology
+    pts = tree.placements
+    xs = [p.x for p in pts.values()]
+    ys = [p.y for p in pts.values()]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    span_x = max(xmax - xmin, 1e-9)
+    span_y = max(ymax - ymin, 1e-9)
+
+    def cell(p: Point) -> tuple[int, int]:
+        col = round((p.x - xmin) / span_x * (width - 1))
+        row = round((ymax - p.y) / span_y * (height - 1))  # y grows upward
+        return int(row), int(col)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def draw_wire(a: Point, b: Point) -> None:
+        """L-shaped: horizontal from a, then vertical to b."""
+        ra, ca = cell(a)
+        rb, cb = cell(b)
+        for c in range(min(ca, cb), max(ca, cb) + 1):
+            if grid[ra][c] == " ":
+                grid[ra][c] = "-"
+        for r in range(min(ra, rb), max(ra, rb) + 1):
+            if grid[r][cb] == " ":
+                grid[r][cb] = "|"
+
+    for node in range(1, topo.num_nodes):
+        draw_wire(pts[topo.parent(node)], pts[node])
+
+    for node in range(topo.num_nodes - 1, -1, -1):
+        r, c = cell(pts[node])
+        if node == 0:
+            grid[r][c] = "S"
+        elif topo.is_sink(node):
+            grid[r][c] = str(node) if node < 10 else "*"
+        else:
+            grid[r][c] = "+"
+
+    lines = ["".join(row).rstrip() for row in grid]
+    lines.append(
+        f"cost={tree.cost:g} drawn={tree.drawn_wirelength:g} "
+        f"elongation={tree.elongation:g}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Minimal fixed-width table renderer for paper-style output.
+
+The benchmark harnesses print rows shaped exactly like Tables 1-3 and the
+Figure 8 series; this renderer keeps that output aligned and dependency
+free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+class Table:
+    """Accumulate rows, then render as an aligned ASCII table."""
+
+    def __init__(self, columns: Sequence[str], title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(
+                " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "nan"
+        if v in (float("inf"), float("-inf")):
+            return "inf" if v > 0 else "-inf"
+        if abs(v) >= 1000:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    return str(v)

@@ -1,0 +1,27 @@
+"""End-to-end solution validation.
+
+Combines every check the paper's claims rest on: delay windows, the full
+Steiner constraint family, and actual embeddability — so experiment
+harnesses can assert validity in one call.
+"""
+
+from __future__ import annotations
+
+from repro.ebf.constraints import max_steiner_violation
+from repro.ebf.solver import LubtSolution
+from repro.embedding import embed_tree, embedding_violations
+
+
+def validate_lubt_solution(sol: LubtSolution, tol: float = 1e-5) -> None:
+    """Raise ``AssertionError`` describing the first failed property."""
+    if not sol.bounds.satisfied_by(sol.delays, tol=tol):
+        raise AssertionError("delay bounds violated")
+    worst = max_steiner_violation(sol.topology, sol.edge_lengths)
+    if worst > tol:
+        raise AssertionError(f"a Steiner constraint is violated by {worst:g}")
+    tree = embed_tree(sol.topology, sol.edge_lengths, verify=False)
+    problems = embedding_violations(
+        sol.topology, sol.edge_lengths, tree.placements, tol=tol
+    )
+    if problems:
+        raise AssertionError("embedding invalid: " + "; ".join(problems[:3]))

@@ -1,0 +1,34 @@
+"""Baseline routing algorithms the paper compares against.
+
+* :func:`bounded_skew_tree` — the Table 1 comparator in the style of
+  Huang/Kahng/Tsao [9]: the min-envelope of two valid constructions
+  (DME + slack trimming for tight budgets, greedy bounded-skew Steiner
+  attachment for loose ones).  It both *generates its topology* and
+  assigns edge lengths meeting the skew bound.
+* :func:`greedy_attachment_tree` / :func:`trimmed_zero_skew_tree` — the
+  two constructions individually (used by ablations).
+* :func:`zero_skew_tree` — the skew-bound-0 special case ([7]'s DME).
+* :func:`shortest_path_tree` — the trivial source-to-sink star (minimum
+  possible per-sink delays; the global-routing strawman).
+"""
+
+from repro.baselines.bounded_skew import BaselineTree, greedy_attachment_tree
+from repro.baselines.buffering import Buffer, BufferingSolution, van_ginneken
+from repro.baselines.comparator import bounded_skew_tree
+from repro.baselines.elmore_zst import elmore_zero_skew_tree
+from repro.baselines.spt import shortest_path_tree
+from repro.baselines.trimmed_zst import trimmed_zero_skew_tree
+from repro.baselines.zst import zero_skew_tree
+
+__all__ = [
+    "BaselineTree",
+    "bounded_skew_tree",
+    "greedy_attachment_tree",
+    "trimmed_zero_skew_tree",
+    "zero_skew_tree",
+    "elmore_zero_skew_tree",
+    "shortest_path_tree",
+    "Buffer",
+    "BufferingSolution",
+    "van_ginneken",
+]

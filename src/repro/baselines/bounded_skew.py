@@ -1,0 +1,325 @@
+"""Bounded-skew clock tree construction — the Table 1 comparator.
+
+A greedy *bounded-skew Steiner attachment* heuristic standing in for the
+algorithm of [9] (Huang, Kahng, Tsao).  Sinks are processed in decreasing
+distance from the source and attached, one by one, to the cheapest valid
+point of the wire built so far:
+
+* attaching at a mid-wire point ``w`` creates a Steiner *tap* node that
+  splits the host edge (the tap has exactly the upstream piece, the
+  downstream piece, and the new sink under it);
+* under the linear delay model the delay at ``w`` is the pathlength from
+  the source, known exactly from the embedded geometry;
+* the new sink's delay is ``delay(w) + wire``; if that would undershoot
+  the window (faster than ``W_hi - B``), the wire is *elongated* with a
+  serpentine detour — the paper's wire elongation — so its delay lands
+  exactly on the window floor;
+* an attachment is valid only if the resulting delay stays within
+  ``W_lo + B`` (it can never push previously placed sinks out of the
+  window).  Attaching straight to the source is always valid because
+  sinks are processed farthest-first, so this greedy never gets stuck.
+
+The skew bound interpolates the classic extremes: ``B = 0`` forces every
+sink delay to exactly the radius (a valid zero-skew tree — Table 1's
+``1.000/1.000`` row), while ``B = inf`` degenerates to a plain greedy
+rectilinear Steiner heuristic (nearest-point attachment, no elongation),
+matching the paper's remark that the comparator solves the Steiner
+problem when the skew bound is infinite.  Every returned tree is exact:
+edge lengths are realized by explicit L-shaped geometry plus bookkept
+detour length, so the tree embeds and its measured skew respects the
+bound by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.delay import sink_delays_linear
+from repro.geometry import Point, bounding_box, manhattan
+from repro.topology import Topology
+
+
+@dataclass(frozen=True)
+class BaselineTree:
+    """A routed tree produced by a baseline algorithm."""
+
+    topology: Topology
+    edge_lengths: np.ndarray
+    cost: float
+    delays: np.ndarray
+
+    @property
+    def shortest_delay(self) -> float:
+        return float(self.delays.min())
+
+    @property
+    def longest_delay(self) -> float:
+        return float(self.delays.max())
+
+    @property
+    def skew(self) -> float:
+        return float(self.delays.max() - self.delays.min())
+
+
+class _Wire:
+    """The growing embedded tree: nodes, edges and their segment geometry.
+
+    Segments are axis-aligned pieces of the L-shaped edge embeddings,
+    stored in flat numpy arrays so each attachment scans all existing
+    wire vectorized.  Any detour (elongation) of an edge is accounted at
+    the *downstream end* of its L, which keeps mid-wire delays exact.
+    """
+
+    def __init__(self, root_pos: Point) -> None:
+        self.pos: list[Point] = [root_pos]
+        self.parent: list[int | None] = [None]
+        self.length: list[float] = [0.0]
+        self.delay: list[float] = [0.0]
+        self.is_tap: list[bool] = [False]
+        # Segment store (grown in python lists, viewed as arrays on scan).
+        self._sx: list[float] = []
+        self._sy: list[float] = []
+        self._ex: list[float] = []
+        self._ey: list[float] = []
+        self._delay0: list[float] = []  # delay at the (sx, sy) end
+        self._edge: list[int] = []  # child-node id of the owning edge
+        self._seg_of_edge: dict[int, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    def num_segments(self) -> int:
+        return len(self._sx)
+
+    def add_node(self, p: Point, parent: int, length: float, is_tap: bool) -> int:
+        node = len(self.pos)
+        self.pos.append(p)
+        self.parent.append(parent)
+        self.length.append(length)
+        self.delay.append(self.delay[parent] + length)
+        self.is_tap.append(is_tap)
+        return node
+
+    def add_edge_geometry(self, child: int) -> None:
+        """Embed edge (parent(child) -> child) as an L, horizontal first."""
+        p = self.pos[self.parent[child]]  # type: ignore[index]
+        q = self.pos[child]
+        d0 = self.delay[self.parent[child]]  # type: ignore[index]
+        segs = self._seg_of_edge.setdefault(child, [])
+        if p.x != q.x:
+            segs.append(self._push_segment(p.x, p.y, q.x, p.y, d0, child))
+        if p.y != q.y or p.x == q.x:
+            segs.append(
+                self._push_segment(
+                    q.x, p.y, q.x, q.y, d0 + abs(q.x - p.x), child
+                )
+            )
+
+    def _push_segment(self, sx, sy, ex, ey, delay0, edge) -> int:
+        idx = len(self._sx)
+        self._sx.append(sx)
+        self._sy.append(sy)
+        self._ex.append(ex)
+        self._ey.append(ey)
+        self._delay0.append(delay0)
+        self._edge.append(edge)
+        return idx
+
+    # ------------------------------------------------------------------
+    def best_attachment(
+        self, s: Point, w_lo: float, w_hi: float, bound: float
+    ):
+        """Scan all wire for the cheapest valid attachment of sink ``s``.
+
+        Returns ``(added_wire, seg_index, w, delay_w)`` or ``None`` when
+        no wire exists yet.  ``added_wire`` includes any forced detour.
+        """
+        n = len(self._sx)
+        if n == 0:
+            return None
+        sx = np.asarray(self._sx)
+        sy = np.asarray(self._sy)
+        ex = np.asarray(self._ex)
+        ey = np.asarray(self._ey)
+        wx = np.clip(s.x, np.minimum(sx, ex), np.maximum(sx, ex))
+        wy = np.clip(s.y, np.minimum(sy, ey), np.maximum(sy, ey))
+        dist = np.abs(s.x - wx) + np.abs(s.y - wy)
+        delay_w = np.asarray(self._delay0) + np.abs(wx - sx) + np.abs(wy - sy)
+        natural = delay_w + dist
+        floor = max(0.0, w_hi - bound) if math.isfinite(bound) else 0.0
+        final = np.maximum(natural, floor)
+        added = dist + (final - natural)
+        cap = w_lo + bound if math.isfinite(bound) else math.inf
+        valid = final <= cap + 1e-9
+        if not np.any(valid):
+            return None
+        added = np.where(valid, added, np.inf)
+        j = int(np.argmin(added))
+        return float(added[j]), j, Point(float(wx[j]), float(wy[j])), float(delay_w[j])
+
+    def split_at(self, seg_index: int, w: Point, delay_w: float) -> int:
+        """Split the owning edge at ``w``; returns the new tap node id.
+
+        The upstream piece keeps exact geometric length; the downstream
+        piece inherits the remainder (including any detour), which is
+        always >= its endpoint distance.
+        """
+        child = self._edge[seg_index]
+        parent = self.parent[child]
+        assert parent is not None
+        up_len = delay_w - self.delay[parent]
+        down_len = self.length[child] - up_len
+        assert up_len >= -1e-9 and down_len >= -1e-9
+
+        tap = self.add_node(w, parent, max(0.0, up_len), is_tap=True)
+        # Re-parent the downstream node under the tap.
+        self.parent[child] = tap
+        self.length[child] = max(0.0, down_len)
+
+        # Rebuild geometry: retire the old edge's segments, re-embed the
+        # two pieces along the original L (split at w on seg_index).
+        old = self._seg_of_edge.pop(child, [])
+        keep_up, keep_down = [], []
+        for idx in old:
+            if idx == seg_index:
+                continue
+            # Segments strictly before the split segment go to the upper
+            # piece; after it, to the lower piece (delay decides).
+            if self._delay0[idx] < delay_w - 1e-12:
+                keep_up.append(idx)
+            else:
+                keep_down.append(idx)
+        up_segs, down_segs = [], []
+        for idx in keep_up:
+            self._edge[idx] = tap
+            up_segs.append(idx)
+        # Split the host segment itself into two pieces at w.
+        sxx, syy = self._sx[seg_index], self._sy[seg_index]
+        exx, eyy = self._ex[seg_index], self._ey[seg_index]
+        d0 = self._delay0[seg_index]
+        if abs(w.x - sxx) + abs(w.y - syy) > 1e-12:
+            up_segs.append(
+                self._push_segment(sxx, syy, w.x, w.y, d0, tap)
+            )
+        if abs(w.x - exx) + abs(w.y - eyy) > 1e-12:
+            down_segs.append(
+                self._push_segment(w.x, w.y, exx, eyy, delay_w, child)
+            )
+        # Retire the host segment by collapsing it to a point (scans will
+        # never pick it: zero length at the same spot as the new pieces).
+        self._sx[seg_index] = self._ex[seg_index] = w.x
+        self._sy[seg_index] = self._ey[seg_index] = w.y
+        self._delay0[seg_index] = delay_w
+        self._edge[seg_index] = tap
+
+        for idx in keep_down:
+            down_segs.append(idx)
+        self._seg_of_edge[tap] = up_segs
+        self._seg_of_edge[child] = down_segs
+        return tap
+
+
+def greedy_attachment_tree(
+    sinks: list[Point],
+    skew_bound: float,
+    source: Point | None = None,
+    verify: bool = True,
+) -> BaselineTree:
+    """Build a bounded-skew routing tree over ``sinks`` by greedy
+    attachment (see module docstring).
+
+    ``skew_bound`` is absolute (same units as coordinates); ``math.inf``
+    gives the unconstrained greedy Steiner tree.  With ``source=None``
+    the tree is rooted at the sink bounding-box center and the returned
+    topology leaves the source location free.
+    """
+    if skew_bound < 0:
+        raise ValueError("skew bound must be non-negative")
+    m = len(sinks)
+    if m == 0:
+        raise ValueError("no sinks")
+
+    if source is None:
+        xmin, ymin, xmax, ymax = bounding_box(sinks)
+        root_pos = Point((xmin + xmax) / 2.0, (ymin + ymax) / 2.0)
+    else:
+        root_pos = source
+
+    wire = _Wire(root_pos)
+    order = sorted(
+        range(m), key=lambda i: manhattan(root_pos, sinks[i]), reverse=True
+    )
+    node_of_sink: dict[int, int] = {}
+    w_lo, w_hi = math.inf, -math.inf
+
+    for i in order:
+        s = sinks[i]
+        pick = wire.best_attachment(s, w_lo, w_hi, skew_bound)
+        if pick is None:
+            # First sink: a direct edge from the root.
+            length = manhattan(root_pos, s)
+            node = wire.add_node(s, 0, length, is_tap=False)
+            wire.add_edge_geometry(node)
+            d = length
+        else:
+            added, seg_index, w, delay_w = pick
+            geo = manhattan(w, s)
+            length = added  # geometric wire + forced detour
+            tap = wire.split_at(seg_index, w, delay_w)
+            node = wire.add_node(s, tap, length, is_tap=False)
+            wire.add_edge_geometry(node)
+            d = delay_w + length
+            assert length >= geo - 1e-9
+        node_of_sink[i] = node
+        w_lo = min(w_lo, d)
+        w_hi = max(w_hi, d)
+        if math.isfinite(skew_bound):
+            assert w_hi - w_lo <= skew_bound + 1e-6
+
+    topo, e = _to_topology(wire, sinks, node_of_sink, source)
+    delays = sink_delays_linear(topo, e)
+    tree = BaselineTree(topo, e, float(e[1:].sum()), delays)
+    if verify:
+        _check(tree, skew_bound)
+    return tree
+
+
+def _to_topology(
+    wire: _Wire,
+    sinks: list[Point],
+    node_of_sink: dict[int, int],
+    source: Point | None,
+) -> tuple[Topology, np.ndarray]:
+    """Renumber internal wire nodes to the paper convention."""
+    m = len(sinks)
+    renum: dict[int, int] = {0: 0}
+    for i in range(m):
+        renum[node_of_sink[i]] = i + 1
+    next_id = m + 1
+    for node in range(1, len(wire.pos)):
+        if node not in renum:
+            renum[node] = next_id
+            next_id += 1
+
+    parents: list[int | None] = [None] * len(wire.pos)
+    lengths = np.zeros(len(wire.pos))
+    for node in range(1, len(wire.pos)):
+        parents[renum[node]] = renum[wire.parent[node]]  # type: ignore[index]
+        lengths[renum[node]] = wire.length[node]
+    topo = Topology(parents, m, sinks, source)
+    return topo, lengths
+
+
+def _check(tree: BaselineTree, bound: float) -> None:
+    if math.isfinite(bound) and tree.skew > bound + 1e-6:
+        raise AssertionError(
+            f"baseline produced skew {tree.skew:g} > bound {bound:g}"
+        )
+    if np.any(tree.edge_lengths < -1e-9):
+        raise AssertionError("baseline produced a negative edge length")
+    # Every edge must be at least as long as its embedded span.
+    topo = tree.topology
+    from repro.embedding import embed_tree
+
+    embed_tree(topo, tree.edge_lengths)

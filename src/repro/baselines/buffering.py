@@ -1,0 +1,188 @@
+"""Buffer insertion on a routed tree (van Ginneken's algorithm).
+
+The paper's introduction contrasts LUBT's *wire-length* delay control
+against the buffer-insertion approach of [10] ("delays are controlled by
+buffer sizing, rather than by controlling the wire lengths"), arguing
+wires cost less area and power.  To make that comparison quantitative we
+implement the classic dynamic program (L. van Ginneken, ISCAS 1990) that
+optimally places buffers from a library at tree nodes to minimize the
+maximum source-sink Elmore delay:
+
+* bottom-up, every node carries a Pareto set of ``(C, Q)`` candidates —
+  downstream capacitance vs required-arrival-time (RAT, higher = slower
+  paths allowed); dominated candidates (both worse) are pruned, which
+  keeps the sets small and the DP exact;
+* traversing edge ``e`` costs ``r_w e (c_w e / 2 + C)`` of RAT and adds
+  ``c_w e`` of capacitance;
+* inserting a buffer resets the visible capacitance to its input cap at
+  the price of ``d0 + r_b C`` of RAT;
+* at a merge, candidates combine as ``(C_a + C_b, min(Q_a, Q_b))``;
+* at the source, a driver of resistance ``r_src`` sees the root load, so
+  the tree's max delay is ``r_src * C_root - Q_root`` (sinks start at
+  ``Q = 0``), minimized over the root candidate set.
+
+This is the node-insertion variant (buffers at sinks/Steiner points, not
+mid-wire) — the standard simplification when the tree's tap points are
+dense, and exactly what our trees provide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.delay import ElmoreParameters
+from repro.topology import Topology
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """One buffer type from the library."""
+
+    input_cap: float
+    intrinsic_delay: float
+    output_resistance: float
+
+    def __post_init__(self) -> None:
+        if min(self.input_cap, self.output_resistance) <= 0 or (
+            self.intrinsic_delay < 0
+        ):
+            raise ValueError("invalid buffer parameters")
+
+
+@dataclass(frozen=True)
+class BufferingSolution:
+    """Outcome of the insertion DP."""
+
+    max_delay: float
+    num_buffers: int
+    buffered_nodes: frozenset[int]
+    root_capacitance: float
+
+    @property
+    def uses_buffers(self) -> bool:
+        return self.num_buffers > 0
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    cap: float
+    q: float
+    buffers: int
+    # Chosen buffered nodes, kept as a frozenset for traceability; sets
+    # stay tiny because of Pareto pruning.
+    nodes: frozenset[int]
+
+
+def van_ginneken(
+    topo: Topology,
+    edge_lengths: np.ndarray,
+    params: ElmoreParameters,
+    buffer: Buffer,
+    source_resistance: float = 1.0,
+    max_buffers: int | None = None,
+) -> BufferingSolution:
+    """Minimize the maximum Elmore delay of the routed tree by optimally
+    inserting ``buffer`` instances at tree nodes.
+
+    ``max_buffers`` optionally caps the count (the DP then returns the
+    best solution within the budget).
+    """
+    if source_resistance <= 0:
+        raise ValueError("source resistance must be positive")
+    e = np.asarray(edge_lengths, dtype=float)
+    if e.shape != (topo.num_nodes,):
+        raise ValueError("edge vector shape mismatch")
+    rw, cw = params.wire_resistance, params.wire_capacitance
+
+    cands: dict[int, list[_Candidate]] = {}
+    for node in topo.postorder():
+        if topo.is_leaf(node):
+            if not topo.is_sink(node):
+                raise ValueError(f"dangling Steiner node {node}")
+            base = [
+                _Candidate(params.sink_cap(node), 0.0, 0, frozenset())
+            ]
+        else:
+            base = None
+            for child in topo.children(node):
+                lifted = _through_edge(cands[child], e[child], rw, cw)
+                base = lifted if base is None else _merge(base, lifted)
+            assert base is not None
+        # Option: place a buffer at this node (not at the root, whose
+        # driver is the clock source itself).
+        options = list(base)
+        if node != 0:
+            for c in base:
+                nb = c.buffers + 1
+                if max_buffers is not None and nb > max_buffers:
+                    continue
+                options.append(
+                    _Candidate(
+                        buffer.input_cap,
+                        c.q - buffer.intrinsic_delay
+                        - buffer.output_resistance * c.cap,
+                        nb,
+                        c.nodes | {node},
+                    )
+                )
+        cands[node] = _prune(options)
+
+    best = min(
+        cands[0], key=lambda c: source_resistance * c.cap - c.q
+    )
+    return BufferingSolution(
+        max_delay=source_resistance * best.cap - best.q,
+        num_buffers=best.buffers,
+        buffered_nodes=best.nodes,
+        root_capacitance=best.cap,
+    )
+
+
+def _through_edge(
+    options: list[_Candidate], length: float, rw: float, cw: float
+) -> list[_Candidate]:
+    out = []
+    for c in options:
+        delay = rw * length * (cw * length / 2.0 + c.cap)
+        out.append(
+            _Candidate(c.cap + cw * length, c.q - delay, c.buffers, c.nodes)
+        )
+    return out
+
+
+def _merge(
+    a: list[_Candidate], b: list[_Candidate]
+) -> list[_Candidate]:
+    out = [
+        _Candidate(
+            ca.cap + cb.cap,
+            min(ca.q, cb.q),
+            ca.buffers + cb.buffers,
+            ca.nodes | cb.nodes,
+        )
+        for ca in a
+        for cb in b
+    ]
+    return _prune(out)
+
+
+def _prune(options: list[_Candidate]) -> list[_Candidate]:
+    """Keep the (cap, q, buffers)-Pareto frontier.
+
+    Sorted by cap ascending, then sweep keeping candidates that improve q
+    (per buffer count level, so a budgeted query stays answerable).
+    """
+    best_q: dict[int, float] = {}
+    frontier: list[_Candidate] = []
+    for c in sorted(options, key=lambda c: (c.cap, -c.q, c.buffers)):
+        dominated = any(
+            q >= c.q - 1e-15 for nb, q in best_q.items() if nb <= c.buffers
+        )
+        if dominated:
+            continue
+        frontier.append(c)
+        if c.buffers not in best_q or c.q > best_q[c.buffers]:
+            best_q[c.buffers] = c.q
+    return frontier

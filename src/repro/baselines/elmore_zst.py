@@ -1,0 +1,148 @@
+"""Exact zero-skew tree under the Elmore delay model (Tsay [4]).
+
+The DME-style bottom-up merge, with Elmore-delay balancing instead of
+pathlength balancing.  Merging subtrees ``a``/``b`` whose merging
+segments are ``L`` apart, with sink delays ``t`` and downstream
+capacitances ``C``, the tap point splits the connecting wire at
+``l_a = z L``:
+
+    z = (t_b - t_a + r L (C_b + c L / 2)) / (r L (c L + C_a + C_b))
+
+(the quadratic terms cancel, Tsay's classic closed form).  When ``z``
+falls outside ``[0, 1]`` the faster side's wire is *elongated*: with
+``l_a = 0``,
+
+    l_b = (sqrt((r C_b)^2 + 2 r c (t_a - t_b)) - r C_b) / (r c)
+
+which solves ``t_a = t_b + r l_b (c l_b / 2 + C_b)`` exactly.  Geometry
+is the same TRR arithmetic as the linear-delay case: the merging segment
+is ``TRR(ms_a, l_a) ∩ TRR(ms_b, l_b)``.
+
+This gives the paper's reference point for Section 7: an Elmore-exact
+zero-skew construction to compare the Elmore-EBF extension against.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.bounded_skew import BaselineTree
+from repro.delay import ElmoreParameters, sink_delays_elmore
+from repro.geometry import Point, TRR
+from repro.lp import InfeasibleError
+from repro.topology import Topology, nearest_neighbor_topology
+
+
+def elmore_zero_skew_tree(
+    sinks: list[Point],
+    params: ElmoreParameters,
+    source: Point | None = None,
+    topology: Topology | None = None,
+) -> BaselineTree:
+    """Build an exact zero-skew tree under Elmore delay.
+
+    Uses the given ``topology`` (binary, sinks as leaves) or generates a
+    nearest-neighbor merge one.  The returned tree's *Elmore* sink skew
+    is zero to numerical precision; its cost is the total wire length.
+    """
+    topo = topology if topology is not None else nearest_neighbor_topology(
+        sinks, source
+    )
+    if topo.num_sinks != len(sinks):
+        raise ValueError("topology/sink count mismatch")
+    for i in topo.sink_ids():
+        if not topo.is_leaf(i):
+            raise InfeasibleError(
+                f"sink {i} is interior: zero skew unachievable"
+            )
+
+    e = np.zeros(topo.num_nodes)
+    ms: dict[int, TRR] = {}
+    t: dict[int, float] = {}
+    cap: dict[int, float] = {}
+    rw, cw = params.wire_resistance, params.wire_capacitance
+
+    for k in topo.postorder():
+        if topo.is_sink(k):
+            ms[k] = TRR.from_point(topo.sink_location(k))
+            t[k] = 0.0
+            cap[k] = params.sink_cap(k)
+            continue
+        kids = list(topo.children(k))
+        if k == 0 and topo.source_location is not None:
+            continue
+        if len(kids) == 1:
+            (a,) = kids
+            e[a] = 0.0
+            ms[k] = ms[a]
+            t[k] = t[a]
+            cap[k] = cap[a]
+            continue
+        if len(kids) != 2:
+            raise InfeasibleError(
+                f"node {k} has {len(kids)} children; "
+                "run split_high_degree_steiner first"
+            )
+        a, b = kids
+        l_a, l_b = _balance(
+            t[a], cap[a], t[b], cap[b], ms[a].distance_to(ms[b]), rw, cw
+        )
+        e[a], e[b] = l_a, l_b
+        region = ms[a].expanded(l_a).intersect(ms[b].expanded(l_b))
+        if region.is_empty():
+            raise AssertionError("Elmore DME merge produced an empty region")
+        ms[k] = region
+        t[k] = t[a] + rw * l_a * (cw * l_a / 2.0 + cap[a])
+        cap[k] = cap[a] + cap[b] + cw * (l_a + l_b)
+
+    if topo.source_location is not None:
+        root_kids = topo.children(0)
+        if len(root_kids) != 1:
+            raise InfeasibleError(
+                "fixed-source Elmore zero-skew requires a single root child"
+            )
+        (child,) = root_kids
+        e[child] = ms[child].distance_to(TRR.from_point(topo.source_location))
+
+    delays = sink_delays_elmore(topo, e, params)
+    spread = float(delays.max() - delays.min()) if len(delays) else 0.0
+    scale = max(1.0, float(np.abs(delays).max()) if len(delays) else 1.0)
+    if spread > 1e-6 * scale:
+        raise AssertionError(f"Elmore zero-skew sweep left skew {spread:g}")
+    return BaselineTree(topo, e, float(e[1:].sum()), delays)
+
+
+def _balance(
+    t_a: float,
+    c_a: float,
+    t_b: float,
+    c_b: float,
+    distance: float,
+    rw: float,
+    cw: float,
+) -> tuple[float, float]:
+    """Tsay's merge: wire lengths equalizing the two Elmore delays."""
+    length = distance
+    if length > 0:
+        denom = rw * length * (cw * length + c_a + c_b)
+        z = (t_b - t_a + rw * length * (c_b + cw * length / 2.0)) / denom
+        if 0.0 <= z <= 1.0:
+            return z * length, (1.0 - z) * length
+    # Degenerate or out-of-range: pin the slower side, elongate the other.
+    if t_a >= t_b:
+        return 0.0, max(length, _elongated_length(t_a - t_b, c_b, rw, cw))
+    return max(length, _elongated_length(t_b - t_a, c_a, rw, cw)), 0.0
+
+
+def _elongated_length(
+    delta_t: float, c_load: float, rw: float, cw: float
+) -> float:
+    """Positive root of ``r l (c l / 2 + C) = delta_t``."""
+    if delta_t <= 0:
+        return 0.0
+    if cw <= 0:
+        return delta_t / (rw * c_load) if c_load > 0 else 0.0
+    disc = (rw * c_load) ** 2 + 2.0 * rw * cw * delta_t
+    return (math.sqrt(disc) - rw * c_load) / (rw * cw)

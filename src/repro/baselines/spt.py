@@ -1,0 +1,26 @@
+"""Shortest-path tree baseline.
+
+Connects every sink straight to the source; every delay equals its lower
+geometric limit ``dist(s_0, s_i)``.  This is the cheapest-delay (not
+cheapest-wire) extreme used as a sanity baseline for global routing
+comparisons, and the starting point of the Lemma 3.1 feasibility argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bounded_skew import BaselineTree
+from repro.delay import sink_delays_linear
+from repro.geometry import Point, manhattan
+from repro.topology import star_topology
+
+
+def shortest_path_tree(sinks: list[Point], source: Point) -> BaselineTree:
+    """Direct source-to-sink star; delays are exactly the distances."""
+    topo = star_topology(sinks, source)
+    e = np.zeros(topo.num_nodes)
+    for i in topo.sink_ids():
+        e[i] = manhattan(source, topo.sink_location(i))
+    delays = sink_delays_linear(topo, e)
+    return BaselineTree(topo, e, float(e[1:].sum()), delays)

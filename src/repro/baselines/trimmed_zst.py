@@ -1,0 +1,66 @@
+"""Zero-skew tree with greedy elongation trimming.
+
+The second construction behind the bounded-skew comparator, strongest for
+*small* skew budgets.  Start from the exact zero-skew DME solution on a
+nearest-neighbor-merge topology (every sink at delay ``t*``); then spend
+the skew budget by shrinking edge *slack* — the difference between an
+edge's length and the distance between its embedded endpoints, i.e. pure
+detour wire.  Shrinking edge ``k`` by ``delta`` speeds every sink below
+it up by ``delta``, so the greedy walks the tree top-down (shared edges
+first), clipping each edge by the smallest remaining per-sink budget.
+
+The embedding is untouched (only lengths shrink toward their endpoint
+distances), so the result is valid by construction, its maximum delay
+stays exactly ``t*``, and the realized window is ``[t* - spent, t*]`` —
+the same gradually-widening ``[1 - B, 1]`` windows the paper's Table 1
+shows for small skew bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.bounded_skew import BaselineTree
+from repro.delay import sink_delays_linear
+from repro.ebf.zero_skew import solve_zero_skew
+from repro.embedding import embed_tree
+from repro.geometry import Point, manhattan
+from repro.topology import nearest_neighbor_topology
+
+
+def trimmed_zero_skew_tree(
+    sinks: list[Point],
+    skew_bound: float,
+    source: Point | None = None,
+) -> BaselineTree:
+    """Exact DME zero-skew tree, then greedy slack trimming up to the
+    skew budget.  ``skew_bound = 0`` is the plain zero-skew DME tree."""
+    if skew_bound < 0:
+        raise ValueError("skew bound must be non-negative")
+    topo = nearest_neighbor_topology(sinks, source)
+    zst = solve_zero_skew(topo)
+    e = zst.edge_lengths.copy()
+
+    if skew_bound > 0:
+        placed = embed_tree(topo, e, verify=False).placements
+        slack = np.zeros(topo.num_nodes)
+        for k in range(1, topo.num_nodes):
+            span = manhattan(placed[k], placed[topo.parent(k)])
+            slack[k] = max(0.0, e[k] - span)
+
+        budget = np.full(topo.num_nodes, float(skew_bound))  # per sink
+        sinks_under = topo.sinks_under()
+        for k in topo.preorder():
+            if k == 0 or slack[k] <= 0:
+                continue
+            below = sinks_under[k]
+            allow = min(budget[i] for i in below)
+            delta = min(slack[k], allow)
+            if delta <= 0:
+                continue
+            e[k] -= delta
+            for i in below:
+                budget[i] -= delta
+
+    delays = sink_delays_linear(topo, e)
+    return BaselineTree(topo, e, float(e[1:].sum()), delays)

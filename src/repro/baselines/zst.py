@@ -1,0 +1,19 @@
+"""Zero-skew tree baseline (Boese-Kahng [7] DME under linear delay).
+
+Exposed separately because Table 1's first row per benchmark is exactly
+this algorithm, and because it generates its own topology (unlike
+:func:`repro.ebf.solve_zero_skew`, which requires one).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.bounded_skew import BaselineTree
+from repro.baselines.trimmed_zst import trimmed_zero_skew_tree
+from repro.geometry import Point
+
+
+def zero_skew_tree(
+    sinks: list[Point], source: Point | None = None
+) -> BaselineTree:
+    """Nearest-neighbor-merge topology + exact DME zero-skew lengths."""
+    return trimmed_zero_skew_tree(sinks, 0.0, source)

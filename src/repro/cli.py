@@ -1,0 +1,261 @@
+"""``lubt`` command-line interface.
+
+Subcommands map one-to-one onto the experiment drivers:
+
+    lubt solve  --bench prim1 --lower 0.9 --upper 1.1 [--sinks 64]
+    lubt table1 --bench prim1 [--sinks 64]
+    lubt table2 --bench prim2 --skew 0.5 [--sinks 64]
+    lubt table3 --bench r1 [--sinks 64]
+    lubt fig8   --bench prim2 [--sinks 64] [--plot]
+    lubt benchmarks
+
+``--sinks`` runs the benchmark's scaled view (first N sinks); omit it for
+the full paper-scale net.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import Table
+from repro.data import benchmark_names, load_benchmark
+from repro.ebf import DelayBounds, solve_lubt
+from repro.experiments import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_fig8,
+    run_fig8,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.geometry import manhattan_radius_from
+from repro.topology import nearest_neighbor_topology
+
+
+def _bench_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--bench",
+        default="prim1",
+        choices=benchmark_names(),
+        help="benchmark surrogate to use",
+    )
+    parser.add_argument(
+        "--sinks",
+        type=int,
+        default=None,
+        help="use only the first N sinks (default: full size)",
+    )
+
+
+def _load(args) -> object:
+    bench = load_benchmark(args.bench)
+    if args.sinks is not None:
+        bench = bench.scaled(args.sinks)
+    return bench
+
+
+def _cmd_solve(args) -> int:
+    if getattr(args, "file", None):
+        from repro.data import load_sinks_file
+
+        source, sinks, _ = load_sinks_file(args.file)
+        name = args.file
+        if source is None:
+            from repro.geometry import bounding_box, Point
+
+            xmin, ymin, xmax, ymax = bounding_box(sinks)
+            source = Point((xmin + xmax) / 2, (ymin + ymax) / 2)
+    else:
+        bench = _load(args)
+        sinks = list(bench.sinks)
+        source = bench.source
+        name = bench.name
+    topo = nearest_neighbor_topology(sinks, source)
+    radius = manhattan_radius_from(source, sinks)
+    bounds = DelayBounds.uniform(
+        len(sinks), args.lower * radius, args.upper * radius
+    )
+    sol = solve_lubt(topo, bounds, check_bounds=False)
+    t = Table(["metric", "value"], title=f"LUBT on {name}")
+    t.add_row("sinks", len(sinks))
+    t.add_row("radius", radius)
+    t.add_row("bounds (normalized)", f"[{args.lower}, {args.upper}]")
+    t.add_row("tree cost", sol.cost)
+    t.add_row("shortest delay", sol.shortest_delay / radius)
+    t.add_row("longest delay", sol.longest_delay / radius)
+    t.add_row("skew", sol.skew / radius)
+    t.add_row("LP rounds", sol.stats.rounds)
+    t.add_row("Steiner rows used", sol.stats.steiner_rows)
+    t.add_row("of possible", sol.stats.total_pairs)
+    t.add_row("backend", sol.stats.backend)
+    print(t)
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    print(render_table1(run_table1(_load(args))))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    print(render_table2(run_table2(_load(args), args.skew)))
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    print(render_table3(run_table3(_load(args))))
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    points = run_fig8(_load(args))
+    print(render_fig8(points))
+    if args.plot:
+        from repro.experiments.fig8 import ascii_plot
+
+        print()
+        print(ascii_plot(points))
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.analysis import delay_sensitivities
+
+    bench = _load(args)
+    sinks = list(bench.sinks)
+    topo = nearest_neighbor_topology(sinks, bench.source)
+    radius = manhattan_radius_from(bench.source, sinks)
+    bounds = DelayBounds.uniform(
+        bench.num_sinks, args.lower * radius, args.upper * radius
+    )
+    sol, sens = delay_sensitivities(topo, bounds, check_bounds=False)
+    t = Table(
+        ["sink", "delay/r", "binding", "d cost/d l", "d cost/d u"],
+        title=f"delay-bound shadow prices on {bench.name} "
+        f"(cost {sol.cost:,.1f})",
+    )
+    for s in sorted(sens, key=lambda s: -(abs(s.lower_price) + abs(s.upper_price))):
+        binding = (
+            "lower" if s.lower_binding else "upper" if s.upper_binding else "-"
+        )
+        t.add_row(f"s{s.sink}", s.delay / radius, binding, s.lower_price, s.upper_price)
+    print(t)
+    return 0
+
+
+def _cmd_zeroskew(args) -> int:
+    from repro.ebf import solve_zero_skew
+
+    bench = _load(args)
+    sinks = list(bench.sinks)
+    topo = nearest_neighbor_topology(sinks, bench.source)
+    radius = manhattan_radius_from(bench.source, sinks)
+    sol = solve_zero_skew(topo)
+    t = Table(["metric", "value"], title=f"zero-skew tree on {bench.name}")
+    t.add_row("sinks", bench.num_sinks)
+    t.add_row("tree cost", sol.cost)
+    t.add_row("common delay", sol.delay)
+    t.add_row("delay / radius", sol.delay / radius)
+    print(t)
+    return 0
+
+
+def _cmd_svg(args) -> int:
+    from repro.analysis import save_svg
+    from repro.embedding import solve_and_embed
+
+    bench = _load(args)
+    sinks = list(bench.sinks)
+    topo = nearest_neighbor_topology(sinks, bench.source)
+    radius = manhattan_radius_from(bench.source, sinks)
+    bounds = DelayBounds.uniform(
+        bench.num_sinks, args.lower * radius, args.upper * radius
+    )
+    sol, tree = solve_and_embed(topo, bounds, check_bounds=False)
+    save_svg(args.output, tree, label_sinks=bench.num_sinks <= 40)
+    print(
+        f"wrote {args.output} (cost {sol.cost:,.1f}, "
+        f"skew {sol.skew / radius:.3f} x radius)"
+    )
+    return 0
+
+
+def _cmd_benchmarks(_args) -> int:
+    t = Table(["name", "sinks", "description"], title="benchmark surrogates")
+    for name in benchmark_names():
+        b = load_benchmark(name)
+        t.add_row(b.name, b.num_sinks, b.description)
+    print(t)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lubt",
+        description="LUBT (bounded-delay routing trees via LP) experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="solve one LUBT instance")
+    _bench_arg(p)
+    p.add_argument("--lower", type=float, default=0.8, help="lower bound / radius")
+    p.add_argument("--upper", type=float, default=1.2, help="upper bound / radius")
+    p.add_argument(
+        "--file",
+        default=None,
+        help="load sinks from a pin-list/CSV file instead of a surrogate",
+    )
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("table1", help="reproduce Table 1 for one benchmark")
+    _bench_arg(p)
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="reproduce Table 2 for one benchmark")
+    _bench_arg(p)
+    p.add_argument("--skew", type=float, default=0.5, help="skew bound / radius")
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("table3", help="reproduce Table 3 for one benchmark")
+    _bench_arg(p)
+    p.set_defaults(func=_cmd_table3)
+
+    p = sub.add_parser("fig8", help="reproduce the Figure 8 tradeoff sweep")
+    _bench_arg(p)
+    p.add_argument("--plot", action="store_true", help="also print an ASCII plot")
+    p.set_defaults(func=_cmd_fig8)
+
+    p = sub.add_parser(
+        "sensitivity", help="per-sink delay-bound shadow prices (LP duals)"
+    )
+    _bench_arg(p)
+    p.add_argument("--lower", type=float, default=0.9, help="lower bound / radius")
+    p.add_argument("--upper", type=float, default=1.1, help="upper bound / radius")
+    p.set_defaults(func=_cmd_sensitivity)
+
+    p = sub.add_parser("zeroskew", help="exact zero-skew tree (Sec. 4.6)")
+    _bench_arg(p)
+    p.set_defaults(func=_cmd_zeroskew)
+
+    p = sub.add_parser("svg", help="solve and export the tree as SVG")
+    _bench_arg(p)
+    p.add_argument("--lower", type=float, default=0.8)
+    p.add_argument("--upper", type=float, default=1.2)
+    p.add_argument("--output", default="lubt_tree.svg")
+    p.set_defaults(func=_cmd_svg)
+
+    p = sub.add_parser("benchmarks", help="list benchmark surrogates")
+    p.set_defaults(func=_cmd_benchmarks)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Benchmark sink placements.
+
+The paper evaluates on MCNC ``prim1``/``prim2`` [2] and Tsay ``r1``/``r3``
+[4].  Those exact coordinate files are not redistributable, so this
+package provides seeded synthetic surrogates with the same sink counts and
+comparable die geometry (see DESIGN.md's substitution table).  Every
+generator is deterministic in its seed, so experiment tables are exactly
+reproducible run to run.
+"""
+
+from repro.data.generators import uniform_sinks, clustered_sinks, grid_sinks
+from repro.data.suites import (
+    Benchmark,
+    BENCHMARKS,
+    load_benchmark,
+    benchmark_names,
+)
+from repro.data.formats import (
+    FormatError,
+    load_pin_list,
+    load_csv,
+    load_sinks_file,
+)
+
+__all__ = [
+    "uniform_sinks",
+    "clustered_sinks",
+    "grid_sinks",
+    "Benchmark",
+    "BENCHMARKS",
+    "load_benchmark",
+    "benchmark_names",
+    "FormatError",
+    "load_pin_list",
+    "load_csv",
+    "load_sinks_file",
+]

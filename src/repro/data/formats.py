@@ -1,0 +1,127 @@
+"""Readers for common clock-net benchmark file formats.
+
+The original ``prim1/prim2`` (MCNC) and ``r1-r5`` (Tsay) coordinate files
+are not redistributable, but they circulate in a handful of simple text
+shapes.  These loaders accept the common ones, so anyone holding the real
+files can reproduce the paper's tables on them directly:
+
+* **pin list** — one pin per line, ``x y`` or ``name x y`` or
+  ``x y load_cap``; lines starting with ``#`` are comments;
+* an optional ``source x y`` (or ``src``/``root``) line anywhere marks
+  the clock source; otherwise the first pin is taken as the source when
+  ``first_is_source=True``;
+* **CSV** — header ``x,y[,cap][,kind]`` with ``kind`` in
+  ``{source, sink}``.
+
+Loaders return ``(source | None, sinks, sink_caps)`` ready for the
+topology generators and :class:`repro.delay.ElmoreParameters`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.geometry import Point
+
+_SOURCE_TOKENS = {"source", "src", "root"}
+
+
+class FormatError(ValueError):
+    """Raised when a benchmark file cannot be parsed."""
+
+
+def load_pin_list(
+    path: str | Path, first_is_source: bool = False
+) -> tuple[Point | None, list[Point], dict[int, float]]:
+    """Parse the whitespace pin-list format (see module docstring)."""
+    source: Point | None = None
+    sinks: list[Point] = []
+    caps: dict[int, float] = {}
+
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0].lower() in _SOURCE_TOKENS:
+            if len(tokens) != 3:
+                raise FormatError(f"{path}:{lineno}: source needs 'source x y'")
+            if source is not None:
+                raise FormatError(f"{path}:{lineno}: duplicate source line")
+            source = Point(_num(tokens[1], path, lineno), _num(tokens[2], path, lineno))
+            continue
+        # Strip a leading non-numeric name token.
+        if not _is_number(tokens[0]):
+            tokens = tokens[1:]
+        if len(tokens) not in (2, 3):
+            raise FormatError(
+                f"{path}:{lineno}: expected 'x y' or 'x y cap', got {raw!r}"
+            )
+        p = Point(_num(tokens[0], path, lineno), _num(tokens[1], path, lineno))
+        sinks.append(p)
+        if len(tokens) == 3:
+            caps[len(sinks)] = _num(tokens[2], path, lineno)
+
+    if not sinks:
+        raise FormatError(f"{path}: no pins found")
+    if source is None and first_is_source:
+        source = sinks.pop(0)
+        caps = {i - 1: c for i, c in caps.items() if i > 1}
+    return source, sinks, caps
+
+
+def load_csv(
+    path: str | Path,
+) -> tuple[Point | None, list[Point], dict[int, float]]:
+    """Parse the CSV format with an ``x,y[,cap][,kind]`` header."""
+    source: Point | None = None
+    sinks: list[Point] = []
+    caps: dict[int, float] = {}
+    with open(path, newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None or not {"x", "y"} <= {
+            f.strip().lower() for f in reader.fieldnames
+        }:
+            raise FormatError(f"{path}: CSV needs at least 'x,y' columns")
+        for lineno, row in enumerate(reader, 2):
+            row = {k.strip().lower(): (v or "").strip() for k, v in row.items()}
+            p = Point(_num(row["x"], path, lineno), _num(row["y"], path, lineno))
+            kind = row.get("kind", "sink").lower() or "sink"
+            if kind in _SOURCE_TOKENS:
+                if source is not None:
+                    raise FormatError(f"{path}:{lineno}: duplicate source row")
+                source = p
+                continue
+            if kind != "sink":
+                raise FormatError(f"{path}:{lineno}: unknown kind {kind!r}")
+            sinks.append(p)
+            if row.get("cap"):
+                caps[len(sinks)] = _num(row["cap"], path, lineno)
+    if not sinks:
+        raise FormatError(f"{path}: no sink rows")
+    return source, sinks, caps
+
+
+def load_sinks_file(
+    path: str | Path, first_is_source: bool = False
+) -> tuple[Point | None, list[Point], dict[int, float]]:
+    """Auto-detect the file format by extension (.csv vs pin list)."""
+    if str(path).lower().endswith(".csv"):
+        return load_csv(path)
+    return load_pin_list(path, first_is_source=first_is_source)
+
+
+def _is_number(token: str) -> bool:
+    try:
+        float(token)
+        return True
+    except ValueError:
+        return False
+
+
+def _num(token: str, path, lineno: int) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise FormatError(f"{path}:{lineno}: not a number: {token!r}") from None

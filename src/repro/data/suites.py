@@ -1,0 +1,106 @@
+"""The four benchmark surrogates used by the paper's tables.
+
+Sink counts follow the originals: MCNC ``prim1`` (269 sinks) and ``prim2``
+(603), Tsay ``r1`` (267) and ``r3`` (862).  ``prim*`` use clustered
+placements on a ~7000x7000 die (standard-cell style); ``r*`` use uniform
+placements on a much larger die (the Tsay nets are chip-scale clock
+nets).  Each benchmark also ships a deterministic ``scaled(m)`` view so
+quick test runs can use the same distribution at a fraction of the size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.generators import clustered_sinks, uniform_sinks
+from repro.geometry import Point
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A named sink placement with a source location."""
+
+    name: str
+    sinks: tuple[Point, ...]
+    source: Point
+    paper_sink_count: int
+    description: str
+
+    @property
+    def num_sinks(self) -> int:
+        return len(self.sinks)
+
+    def scaled(self, count: int) -> "Benchmark":
+        """The first ``count`` sinks — same spatial process, smaller net."""
+        if not (1 <= count <= len(self.sinks)):
+            raise ValueError(f"count must be in [1, {len(self.sinks)}]")
+        return Benchmark(
+            f"{self.name}[{count}]",
+            self.sinks[:count],
+            self.source,
+            self.paper_sink_count,
+            self.description,
+        )
+
+
+def _make(name, count, seed, kind, width, height, description) -> Benchmark:
+    if kind == "clustered":
+        pts = clustered_sinks(count, seed, clusters=8, width=width, height=height)
+    else:
+        pts = uniform_sinks(count, seed, width=width, height=height)
+    return Benchmark(
+        name, tuple(pts), Point(width / 2.0, height / 2.0), count, description
+    )
+
+
+#: Deterministic surrogates (seed fixed per benchmark).
+BENCHMARKS: dict[str, Benchmark] = {
+    b.name: b
+    for b in (
+        _make(
+            "prim1", 269, 19960101, "clustered", 7000.0, 7000.0,
+            "surrogate for MCNC primary1 clock net (269 sinks)",
+        ),
+        _make(
+            "prim2", 603, 19960102, "clustered", 10000.0, 10000.0,
+            "surrogate for MCNC primary2 clock net (603 sinks)",
+        ),
+        _make(
+            "r1", 267, 19960103, "uniform", 100_000.0, 100_000.0,
+            "surrogate for Tsay r1 clock net (267 sinks)",
+        ),
+        _make(
+            "r2", 598, 19960105, "uniform", 100_000.0, 100_000.0,
+            "surrogate for Tsay r2 clock net (598 sinks)",
+        ),
+        _make(
+            "r3", 862, 19960104, "uniform", 100_000.0, 100_000.0,
+            "surrogate for Tsay r3 clock net (862 sinks)",
+        ),
+        _make(
+            "r4", 1903, 19960106, "uniform", 100_000.0, 100_000.0,
+            "surrogate for Tsay r4 clock net (1903 sinks)",
+        ),
+        _make(
+            "r5", 3101, 19960107, "uniform", 100_000.0, 100_000.0,
+            "surrogate for Tsay r5 clock net (3101 sinks)",
+        ),
+    )
+}
+
+#: The four benchmarks the paper's tables actually use.
+PAPER_BENCHMARKS = ("prim1", "prim2", "r1", "r3")
+
+
+def benchmark_names() -> list[str]:
+    return list(BENCHMARKS)
+
+
+def load_benchmark(name: str) -> Benchmark:
+    """Look up a benchmark surrogate by paper name (``prim1`` etc.)."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARKS)}"
+        ) from None

@@ -1,0 +1,36 @@
+"""Interconnect delay models.
+
+The paper's main results use the **linear (pathlength) delay model**
+(Equation 1): the delay to a sink is the total wire length from the source.
+Section 7 extends EBF to the **Elmore delay model** (Equation 12), which is
+quadratic in the edge lengths.  Both evaluators consume a topology plus an
+edge-length vector (indexed by node id; entry 0 unused).
+"""
+
+from repro.delay.linear import (
+    sink_delays_linear,
+    node_delays_linear,
+    delay_to_node_linear,
+    tree_cost,
+    skew,
+    delay_spread,
+)
+from repro.delay.elmore import (
+    ElmoreParameters,
+    sink_delays_elmore,
+    node_delays_elmore,
+    downstream_capacitance,
+)
+
+__all__ = [
+    "sink_delays_linear",
+    "node_delays_linear",
+    "delay_to_node_linear",
+    "tree_cost",
+    "skew",
+    "delay_spread",
+    "ElmoreParameters",
+    "sink_delays_elmore",
+    "node_delays_elmore",
+    "downstream_capacitance",
+]

@@ -1,0 +1,85 @@
+"""Elmore delay model — Equation 12 (Section 7 extension).
+
+    delay(s_j) = sum over e_k in path(s_0, s_j) of
+                 r_w * e_k * (c_w * e_k / 2 + C_k)
+
+where ``C_k`` is the effective downstream capacitance at node ``s_k``: the
+sum of sink load capacitances and wire capacitances of the subtree ``T_k``.
+The delay is quadratic (posynomial) in the edge lengths; this module only
+*evaluates* it — the EBF-with-Elmore NLP lives in :mod:`repro.ebf.elmore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology import Topology
+
+
+@dataclass(frozen=True)
+class ElmoreParameters:
+    """Unit wire parasitics and per-sink load capacitances.
+
+    ``sink_caps`` maps sink id -> load capacitance; missing sinks default
+    to ``default_sink_cap``.
+    """
+
+    wire_resistance: float = 1.0  # r_w, per unit length
+    wire_capacitance: float = 1.0  # c_w, per unit length
+    default_sink_cap: float = 0.0
+    sink_caps: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.wire_resistance <= 0 or self.wire_capacitance < 0:
+            raise ValueError("wire parasitics must be positive (r) / non-negative (c)")
+
+    def sink_cap(self, sink_id: int) -> float:
+        return self.sink_caps.get(sink_id, self.default_sink_cap)
+
+
+def downstream_capacitance(
+    topo: Topology, e, params: ElmoreParameters
+) -> np.ndarray:
+    """``C_k`` for every node ``k``: subtree wire cap + sink loads.
+
+    Follows the paper's definition: ``C_k`` is the effective tree
+    capacitance *at* ``s_k``, i.e. the capacitance of subtree ``T_k``
+    (edge ``e_k`` itself is accounted separately by the ``c_w e_k / 2``
+    term in the delay formula).
+    """
+    e = np.asarray(e, dtype=float)
+    if e.shape != (topo.num_nodes,):
+        raise ValueError("edge vector shape mismatch")
+    cap = np.zeros(topo.num_nodes)
+    for k in topo.postorder():
+        own = params.sink_cap(k) if topo.is_sink(k) else 0.0
+        acc = own
+        for c in topo.children(k):
+            # Child subtree cap plus the child edge's full wire cap.
+            acc += cap[c] + params.wire_capacitance * e[c]
+        cap[k] = acc
+    return cap
+
+
+def node_delays_elmore(
+    topo: Topology, e, params: ElmoreParameters
+) -> np.ndarray:
+    """Elmore delay from the source to every node."""
+    e = np.asarray(e, dtype=float)
+    cap = downstream_capacitance(topo, e, params)
+    d = np.zeros(topo.num_nodes)
+    rw, cw = params.wire_resistance, params.wire_capacitance
+    for i in topo.preorder():
+        p = topo.parent(i)
+        if p is not None:
+            d[i] = d[p] + rw * e[i] * (cw * e[i] / 2.0 + cap[i])
+    return d
+
+
+def sink_delays_elmore(
+    topo: Topology, e, params: ElmoreParameters
+) -> np.ndarray:
+    """Array of length ``m``: Elmore delay of sink ``i`` at index ``i-1``."""
+    return node_delays_elmore(topo, e, params)[1 : topo.num_sinks + 1]

@@ -1,0 +1,171 @@
+"""Steiner-constraint generation and violation checking (Sections 4.1, 4.6).
+
+There are C(m, 2) Steiner constraints — one per sink pair.  Generating all
+of them is exact but heavy for paper-scale nets, so this module supports
+the paper's Section 4.6 "reduction of the constraints" as a sound lazy
+scheme: start from one well-chosen *seed* pair per internal node (the
+farthest cross pair, which tends to be the binding one), then add only the
+pairs a candidate solution actually violates.  The violation check is
+vectorized over LCA groups:
+
+    pathlength(s_i, s_j) = D_i + D_j - 2 * D_lca(i,j)
+
+where ``D`` is the root-to-node pathlength vector, and the Manhattan
+distance is the Chebyshev distance of the rotated sink coordinates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.delay import node_delays_linear
+from repro.geometry import manhattan
+from repro.topology import Topology
+
+
+def sink_pair_count(topo: Topology) -> int:
+    """C(m, 2) — the full Steiner constraint count of Section 4.6."""
+    m = topo.num_sinks
+    return m * (m - 1) // 2
+
+
+def _lca_groups(topo: Topology) -> Iterator[tuple[int, list[list[int]]]]:
+    """Yield ``(node, sink_groups)`` covering every sink pair exactly once.
+
+    A pair's LCA is either a branching node (the pair crosses two child
+    subtrees) or — in topologies with interior sinks, like Figure 1(a)'s
+    chain — a sink that is an ancestor of the other.  The ancestor sink
+    is emitted as its own singleton group so ``itertools.combinations``
+    over the groups enumerates both kinds uniformly.
+    """
+    sinks_under = topo.sinks_under()
+    for k in range(topo.num_nodes):
+        kids = topo.children(k)
+        if not kids:
+            continue
+        groups = [g for g in (sinks_under[c] for c in kids) if g]
+        if topo.is_sink(k):
+            groups.append([k])
+        if len(groups) >= 2:
+            yield k, groups
+
+
+def all_sink_pairs(topo: Topology) -> Iterator[tuple[int, int]]:
+    """Every unordered sink pair, grouped by LCA."""
+    for _, groups in _lca_groups(topo):
+        for ga, gb in itertools.combinations(groups, 2):
+            for i in ga:
+                for j in gb:
+                    yield (i, j)
+
+
+def steiner_constraint_rows(
+    topo: Topology, pairs: Sequence[tuple[int, int]] | None = None
+) -> Iterator[tuple[int, int, list[int], float]]:
+    """Yield ``(i, j, path_edge_ids, dist)`` rows for the given sink pairs
+    (default: all C(m,2) of them)."""
+    if pairs is None:
+        pairs = list(all_sink_pairs(topo))
+    for i, j in pairs:
+        edges = topo.path_between(i, j)
+        d = manhattan(topo.sink_location(i), topo.sink_location(j))
+        yield i, j, edges, d
+
+
+def _sink_uv(topo: Topology) -> tuple[np.ndarray, np.ndarray]:
+    """Rotated sink coordinates indexed by *node id* (non-sinks zeroed)."""
+    su = np.zeros(topo.num_nodes)
+    sv = np.zeros(topo.num_nodes)
+    for i in topo.sink_ids():
+        p = topo.sink_location(i)
+        su[i] = p.u
+        sv[i] = p.v
+    return su, sv
+
+
+def seed_constraint_pairs(topo: Topology) -> list[tuple[int, int]]:
+    """One seed pair per branching node: the farthest cross pair.
+
+    For each LCA and each pair of its child groups, the maximizing pair of
+    ``max(|du|, |dv|)`` is found from the groups' u/v extremes (16 candidate
+    combinations) — O(m) per node instead of O(|A|*|B|).
+    """
+    su, sv = _sink_uv(topo)
+    seeds: list[tuple[int, int]] = []
+    for _, groups in _lca_groups(topo):
+        extremes = []
+        for g in groups:
+            arr = np.asarray(g)
+            extremes.append(
+                {
+                    "umin": int(arr[np.argmin(su[arr])]),
+                    "umax": int(arr[np.argmax(su[arr])]),
+                    "vmin": int(arr[np.argmin(sv[arr])]),
+                    "vmax": int(arr[np.argmax(sv[arr])]),
+                }
+            )
+        for (ga, ea), (gb, eb) in itertools.combinations(
+            zip(groups, extremes), 2
+        ):
+            best: tuple[float, int, int] | None = None
+            for i in set(ea.values()):
+                for j in set(eb.values()):
+                    d = max(abs(su[i] - su[j]), abs(sv[i] - sv[j]))
+                    if best is None or d > best[0]:
+                        best = (d, i, j)
+            assert best is not None
+            seeds.append((best[1], best[2]))
+    return seeds
+
+
+def steiner_violations(
+    topo: Topology,
+    edge_lengths: np.ndarray,
+    tol: float = 1e-7,
+    limit: int | None = None,
+) -> list[tuple[int, int, float]]:
+    """All sink pairs whose Steiner constraint is violated by more than
+    ``tol``, as ``(i, j, violation)`` sorted by decreasing violation.
+
+    ``limit`` caps the returned count (the most-violated rows are kept),
+    which is what the lazy solver uses for batched row generation.
+    """
+    d = node_delays_linear(topo, edge_lengths)
+    su, sv = _sink_uv(topo)
+    out: list[tuple[int, int, float]] = []
+    for k, groups in _lca_groups(topo):
+        arrays = [np.asarray(g) for g in groups]
+        for a, b in itertools.combinations(arrays, 2):
+            pathsum = d[a][:, None] + d[b][None, :] - 2.0 * d[k]
+            dist = np.maximum(
+                np.abs(su[a][:, None] - su[b][None, :]),
+                np.abs(sv[a][:, None] - sv[b][None, :]),
+            )
+            viol = dist - pathsum
+            ia, ib = np.nonzero(viol > tol)
+            for x, y in zip(ia, ib):
+                out.append((int(a[x]), int(b[y]), float(viol[x, y])))
+    out.sort(key=lambda t: -t[2])
+    if limit is not None:
+        out = out[:limit]
+    return out
+
+
+def max_steiner_violation(topo: Topology, edge_lengths: np.ndarray) -> float:
+    """Largest Steiner-constraint violation (<= 0 when all satisfied)."""
+    d = node_delays_linear(topo, edge_lengths)
+    su, sv = _sink_uv(topo)
+    worst = -np.inf
+    for k, groups in _lca_groups(topo):
+        arrays = [np.asarray(g) for g in groups]
+        for a, b in itertools.combinations(arrays, 2):
+            pathsum = d[a][:, None] + d[b][None, :] - 2.0 * d[k]
+            dist = np.maximum(
+                np.abs(su[a][:, None] - su[b][None, :]),
+                np.abs(sv[a][:, None] - sv[b][None, :]),
+            )
+            worst = max(worst, float((dist - pathsum).max()))
+    return worst if np.isfinite(worst) else 0.0

@@ -1,0 +1,257 @@
+"""EBF under the Elmore delay model (Section 7).
+
+The Steiner constraints stay linear; only the delay constraints change,
+becoming quadratic (posynomial) in the edge lengths:
+
+    l_i <= sum_{e_k in path(s_0, s_j)} r_w e_k (c_w e_k / 2 + C_k) <= u_i
+
+With lower bounds the feasible set is non-convex, so — as the paper says —
+the problem is solved heuristically with a general NLP method; we use
+scipy's SLSQP (sequential quadratic programming, the method the paper's
+conclusion names) with an analytic Jacobian.  With ``l_i = 0`` the problem
+is convex and SLSQP's local optimum is global.
+
+Jacobian (derived from Eq. 12; ``D`` is the root pathlength vector):
+
+    d delay_j / d e_t = [t in path(j)] * r (c e_t + C_t)
+                      + r c (D_lca(j, t) - [t in path(j)] * e_t)
+
+The first term is the direct resistance term; the second collects
+``e_t``'s wire capacitance seen through every upstream resistance shared
+with the path to ``s_j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import LinearConstraint, NonlinearConstraint, minimize
+
+from repro.delay import (
+    ElmoreParameters,
+    downstream_capacitance,
+    node_delays_linear,
+    sink_delays_elmore,
+)
+from repro.ebf.bounds import DelayBounds
+from repro.ebf.constraints import all_sink_pairs, steiner_constraint_rows
+from repro.lp import InfeasibleError
+from repro.topology import Topology
+
+
+@dataclass(frozen=True)
+class ElmoreSolution:
+    """Result of the Elmore-delay EBF NLP."""
+
+    edge_lengths: np.ndarray
+    cost: float
+    delays: np.ndarray  # Elmore sink delays
+    converged: bool
+    message: str
+    iterations: int
+
+    @property
+    def skew(self) -> float:
+        return float(self.delays.max() - self.delays.min())
+
+
+def elmore_delay_jacobian(
+    topo: Topology, e: np.ndarray, params: ElmoreParameters
+) -> np.ndarray:
+    """``J[j-1, t-1] = d delay(s_j) / d e_t`` for all sinks j, edges t."""
+    n = topo.num_edges
+    m = topo.num_sinks
+    cap = downstream_capacitance(topo, e, params)
+    pathlen = node_delays_linear(topo, e)
+    rw, cw = params.wire_resistance, params.wire_capacitance
+    jac = np.zeros((m, n))
+    for j in topo.sink_ids():
+        on_path = set(topo.path_to_root(j))
+        for t in range(1, topo.num_nodes):
+            k = topo.lca(j, t)
+            val = rw * cw * pathlen[k]
+            if t in on_path:
+                val += rw * (cw * e[t] + cap[t]) - rw * cw * e[t]
+            jac[j - 1, t - 1] = val
+    return jac
+
+
+def solve_lubt_elmore(
+    topo: Topology,
+    bounds: DelayBounds,
+    params: ElmoreParameters,
+    *,
+    weights=None,
+    zero_edges=(),
+    x0: np.ndarray | None = None,
+    max_iterations: int = 500,
+    tol: float = 1e-9,
+    method: str = "slsqp",
+) -> ElmoreSolution:
+    """Solve LUBT with Elmore delay constraints via SQP.
+
+    Intended for small-to-medium nets (the full C(m,2) Steiner rows are
+    materialized).  ``x0`` is an optional warm start indexed by node id;
+    by default every subtree is collapsed toward the root and sink edges
+    carry the geometric distance, the feasible construction of Lemma 3.1.
+    ``method`` is ``"slsqp"`` (default) or ``"trust-constr"`` (scipy's
+    interior-point-flavoured solver — the closer analogue of the paper's
+    LOQO, sometimes more robust on badly-scaled windows).
+
+    Raises :class:`InfeasibleError` when the solver terminates on an
+    infeasible point — under Elmore delay this is a *heuristic* verdict
+    (the paper only guarantees optimality for ``l = 0``).
+    """
+    if method not in ("slsqp", "trust-constr"):
+        raise ValueError(f"unknown method {method!r}")
+    if bounds.num_sinks != topo.num_sinks:
+        raise ValueError("bounds/sink count mismatch")
+    n = topo.num_edges
+
+    w = np.ones(n)
+    if weights is not None:
+        w = np.asarray(weights, dtype=float)[1:]
+
+    steiner = [
+        (edges, d) for _, _, edges, d in steiner_constraint_rows(
+            topo, list(all_sink_pairs(topo))
+        )
+    ]
+    if topo.source_location is not None:
+        # A fixed source embeds like an extra terminal of every root path.
+        from repro.geometry import manhattan
+
+        for i in topo.sink_ids():
+            steiner.append(
+                (topo.path_to_root(i), manhattan(topo.source_location, topo.sink_location(i)))
+            )
+
+    def to_edge_vector(x: np.ndarray) -> np.ndarray:
+        e = np.zeros(topo.num_nodes)
+        e[1:] = x
+        return e
+
+    def objective(x):
+        return float(w @ x)
+
+    def objective_grad(_x):
+        return w
+
+    steiner_matrix = np.zeros((len(steiner), n))
+    steiner_rhs = np.zeros(len(steiner))
+    for row, (edges, d) in enumerate(steiner):
+        for k in edges:
+            steiner_matrix[row, k - 1] = 1.0
+        steiner_rhs[row] = d
+
+    lower = np.asarray(bounds.lower, dtype=float)
+    upper = np.asarray(bounds.upper, dtype=float)
+    finite_upper = np.isfinite(upper)
+
+    def delays_of(x):
+        return sink_delays_elmore(topo, to_edge_vector(x), params)
+
+    def jac_of(x):
+        return elmore_delay_jacobian(topo, to_edge_vector(x), params)
+
+    var_bounds = [(0.0, None)] * n
+    for i in zero_edges:
+        var_bounds[i - 1] = (0.0, 0.0)
+
+    if x0 is None:
+        x_start = _lemma31_start(topo, lower)
+    else:
+        x_start = np.asarray(x0, dtype=float)[1:]
+
+    if method == "slsqp":
+        constraints = [
+            {
+                "type": "ineq",
+                "fun": (lambda x, a=a, d=d: float(a @ x - d)),
+                "jac": (lambda _x, a=a: a),
+            }
+            for a, d in zip(steiner_matrix, steiner_rhs)
+        ]
+        constraints.append(
+            {
+                "type": "ineq",
+                "fun": lambda x: delays_of(x) - lower,
+                "jac": lambda x: jac_of(x),
+            }
+        )
+        if np.any(finite_upper):
+            big = np.where(finite_upper, upper, 0.0)
+            sel = np.flatnonzero(finite_upper)
+            constraints.append(
+                {
+                    "type": "ineq",
+                    "fun": lambda x: (big - delays_of(x))[sel],
+                    "jac": lambda x: -jac_of(x)[sel],
+                }
+            )
+        res = minimize(
+            objective,
+            x_start,
+            jac=objective_grad,
+            bounds=var_bounds,
+            constraints=constraints,
+            method="SLSQP",
+            options={"maxiter": max_iterations, "ftol": tol},
+        )
+    else:  # trust-constr: vectorized constraint objects
+        constraints = []
+        if len(steiner):
+            constraints.append(
+                LinearConstraint(steiner_matrix, lb=steiner_rhs, ub=np.inf)
+            )
+        delay_ub = np.where(finite_upper, upper, np.inf)
+        constraints.append(
+            NonlinearConstraint(delays_of, lb=lower, ub=delay_ub, jac=jac_of)
+        )
+        res = minimize(
+            objective,
+            x_start,
+            jac=objective_grad,
+            hess=lambda _x: np.zeros((n, n)),  # objective is linear
+            bounds=var_bounds,
+            constraints=constraints,
+            method="trust-constr",
+            options={"maxiter": max_iterations * 4, "gtol": tol},
+        )
+
+    e = to_edge_vector(np.maximum(res.x, 0.0))
+    delays = sink_delays_elmore(topo, e, params)
+    ok = bool(res.success)
+    within = bool(
+        np.all(delays >= lower - 1e-6)
+        and np.all(delays[finite_upper] <= upper[finite_upper] + 1e-6)
+    )
+    if not within:
+        raise InfeasibleError(
+            f"{method} could not satisfy the Elmore delay windows "
+            f"(status: {res.message})"
+        )
+    return ElmoreSolution(
+        edge_lengths=e,
+        cost=float(w @ e[1:]),
+        delays=delays,
+        converged=ok,
+        message=str(res.message),
+        iterations=int(getattr(res, "nit", 0) or getattr(res, "niter", 0)),
+    )
+
+
+def _lemma31_start(topo: Topology, lower: np.ndarray) -> np.ndarray:
+    """Feasible-ish warm start in the spirit of Lemma 3.1: Steiner points
+    collapsed to the source, sink edges spanning the geometry."""
+    from repro.geometry import manhattan, bounding_box, Point
+
+    src = topo.source_location
+    if src is None:
+        xmin, ymin, xmax, ymax = bounding_box(topo.sink_locations)
+        src = Point((xmin + xmax) / 2.0, (ymin + ymax) / 2.0)
+    x = np.zeros(topo.num_edges)
+    for i in topo.sink_ids():
+        x[i - 1] = manhattan(src, topo.sink_location(i))
+    return x

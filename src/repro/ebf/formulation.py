@@ -1,0 +1,109 @@
+"""EBF LP assembly (Section 4.3's "Summary of the Formulation").
+
+Variables are the edge lengths ``e_1 .. e_n`` (variable ``j`` is edge
+``j + 1``).  Rows:
+
+* Steiner constraints for a chosen set of sink pairs (all pairs by
+  default; the lazy solver passes a growing subset);
+* delay range rows per sink: ``l_i <= sum path(s_0, s_i) <= u_i``;
+* zero-pinned tie edges from degree-4 splitting.
+
+When the source location is *given*, the effective lower bound of each
+delay row is raised to ``max(l_i, dist(s_0, s_i))`` — the path from a fixed
+source to a sink can never embed shorter than their Manhattan distance, so
+this strengthening is sound and makes Theorem 4.1's embedding guarantee
+carry over to the fixed-source case (the source acts as an extra terminal
+of every root path).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.ebf.bounds import DelayBounds
+from repro.ebf.constraints import steiner_constraint_rows
+from repro.geometry import manhattan
+from repro.lp import LinearProgram, Sense
+from repro.topology import Topology
+
+
+def edge_var(edge_id: int) -> int:
+    """Column index of edge ``e_i`` (paper numbering) in the EBF LP."""
+    if edge_id < 1:
+        raise ValueError(f"edge ids start at 1, got {edge_id}")
+    return edge_id - 1
+
+
+def build_ebf_lp(
+    topo: Topology,
+    bounds: DelayBounds,
+    *,
+    weights: Sequence[float] | None = None,
+    pairs: Sequence[tuple[int, int]] | None = None,
+    zero_edges: Iterable[int] = (),
+) -> LinearProgram:
+    """Build the EBF LP for ``topo`` with the given delay bounds.
+
+    ``weights`` (indexed by node id, entry 0 ignored) give the Section 7
+    weighted objective; ``pairs`` restricts the Steiner rows to a subset
+    (used by lazy row generation); ``zero_edges`` pins tie edges to zero.
+    """
+    if bounds.num_sinks != topo.num_sinks:
+        raise ValueError("bounds/sink count mismatch")
+    if weights is not None and len(weights) != topo.num_nodes:
+        raise ValueError("weights must be indexed by node id (len = num_nodes)")
+
+    lp = LinearProgram()
+    for i in range(1, topo.num_nodes):
+        w = 1.0 if weights is None else float(weights[i])
+        if w < 0:
+            raise ValueError(f"negative edge weight for e_{i}")
+        lp.add_variable(f"e{i}", cost=w)
+    for i in zero_edges:
+        lp.fix_variable(edge_var(i), 0.0)
+
+    add_delay_rows(lp, topo, bounds)
+    add_steiner_rows(lp, topo, pairs)
+    return lp
+
+
+def add_delay_rows(lp: LinearProgram, topo: Topology, bounds: DelayBounds) -> None:
+    """One range row per sink (Equation 8), with the fixed-source
+    strengthening described in the module docstring."""
+    src = topo.source_location
+    for i in topo.sink_ids():
+        lo, hi = bounds.window(i)
+        if src is not None:
+            lo = max(lo, manhattan(src, topo.sink_location(i)))
+        if lo > hi + 1e-12:
+            # Bounds violating Eq. 3 produce an immediately-infeasible row
+            # rather than a silent wrong answer.
+            lp.add_constraint({}, Sense.GE, 1.0, name=f"delay{i}.impossible")
+            continue
+        coeffs = {edge_var(k): 1.0 for k in topo.path_to_root(i)}
+        lp.add_range_constraint(coeffs, lo, hi, name=f"delay{i}")
+
+
+def add_steiner_rows(
+    lp: LinearProgram,
+    topo: Topology,
+    pairs: Sequence[tuple[int, int]] | None,
+) -> list[int]:
+    """Append Steiner rows for ``pairs`` (all sink pairs when ``None``);
+    returns the new row indices."""
+    rows = []
+    for i, j, edges, d in steiner_constraint_rows(topo, pairs):
+        coeffs = {edge_var(k): 1.0 for k in edges}
+        rows.append(
+            lp.add_constraint(coeffs, Sense.GE, d, name=f"steiner{i},{j}")
+        )
+    return rows
+
+
+def expand_edge_vector(topo: Topology, x: np.ndarray) -> np.ndarray:
+    """LP solution vector -> edge-length vector indexed by node id."""
+    e = np.zeros(topo.num_nodes)
+    e[1:] = np.maximum(np.asarray(x, dtype=float), 0.0)
+    return e

@@ -1,0 +1,191 @@
+"""The LUBT solver: EBF LP + (optional) lazy constraint generation.
+
+``mode="full"`` builds all C(m,2) Steiner rows up front — the literal
+formulation of Section 4.3.  ``mode="lazy"`` implements the Section 4.6
+constraint reduction as sound row generation: seed with the farthest cross
+pair per branching node, solve, add violated rows, repeat.  Both modes end
+with an exact all-pairs violation check, so a returned solution always
+satisfies *every* Steiner constraint; by LP optimality it is the minimum
+cost LUBT for the topology (Theorem 4.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.delay import sink_delays_linear, tree_cost
+from repro.ebf.bounds import DelayBounds
+from repro.ebf.constraints import (
+    all_sink_pairs,
+    seed_constraint_pairs,
+    steiner_violations,
+)
+from repro.ebf.formulation import (
+    add_steiner_rows,
+    build_ebf_lp,
+    expand_edge_vector,
+)
+from repro.lp import solve_lp
+
+_VIOLATION_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class SolveStats:
+    """Diagnostics for one LUBT solve."""
+
+    backend: str
+    mode: str
+    rounds: int
+    steiner_rows: int
+    total_pairs: int
+    lp_iterations: int
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class LubtSolution:
+    """A minimum-cost LUBT for a fixed topology (edge lengths only).
+
+    Steiner point *locations* are recovered separately by
+    :func:`repro.embedding.embed_tree`, mirroring the paper's two stage
+    structure (LP first, DME-style placement second).
+
+    ``lp``/``lp_result`` are retained when ``solve_lubt(keep_lp=True)``
+    so downstream analyses (e.g. delay-bound shadow prices) can read row
+    duals without re-solving.
+    """
+
+    topology: object
+    bounds: DelayBounds
+    edge_lengths: np.ndarray
+    cost: float
+    delays: np.ndarray
+    stats: SolveStats
+    weights: np.ndarray | None = field(default=None, repr=False)
+    lp: object | None = field(default=None, repr=False, compare=False)
+    lp_result: object | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def skew(self) -> float:
+        return float(self.delays.max() - self.delays.min())
+
+    @property
+    def shortest_delay(self) -> float:
+        return float(self.delays.min())
+
+    @property
+    def longest_delay(self) -> float:
+        return float(self.delays.max())
+
+
+def solve_lubt(
+    topo,
+    bounds: DelayBounds,
+    *,
+    weights=None,
+    zero_edges=(),
+    backend: str = "auto",
+    mode: str = "lazy",
+    batch: int = 4000,
+    max_rounds: int = 60,
+    check_bounds: bool = True,
+    validate: bool = True,
+    keep_lp: bool = False,
+) -> LubtSolution:
+    """Solve the LUBT problem for a fixed topology (Definition 2.1).
+
+    Raises :class:`repro.lp.InfeasibleError` when no LUBT exists for the
+    topology and bounds — per Section 9, EBF infeasibility is exactly that
+    certificate.
+
+    Parameters
+    ----------
+    mode:
+        ``"lazy"`` (Section 4.6 row generation, default) or ``"full"``
+        (all C(m,2) Steiner rows up front).
+    batch:
+        Most-violated rows added per lazy round.
+    check_bounds:
+        Verify Definition 2.1's Eq. 3/4 validity conditions first.  Turn
+        off to probe infeasible bound sets deliberately.
+    """
+    if check_bounds:
+        bounds.check(topo)
+    if mode not in ("lazy", "full"):
+        raise ValueError(f"unknown mode {mode!r}")
+
+    start = time.perf_counter()
+    if mode == "full":
+        pairs = list(all_sink_pairs(topo))
+        lp = build_ebf_lp(
+            topo, bounds, weights=weights, pairs=pairs, zero_edges=zero_edges
+        )
+        result = solve_lp(lp, backend).require_optimal()
+        e = expand_edge_vector(topo, result.x)
+        rounds, iters = 1, result.iterations
+    else:
+        pairs = seed_constraint_pairs(topo)
+        lp = build_ebf_lp(
+            topo, bounds, weights=weights, pairs=pairs, zero_edges=zero_edges
+        )
+        iters = 0
+        e = None
+        for rounds in range(1, max_rounds + 1):
+            result = solve_lp(lp, backend).require_optimal()
+            iters += result.iterations
+            e = expand_edge_vector(topo, result.x)
+            violated = steiner_violations(topo, e, _VIOLATION_TOL, limit=batch)
+            if not violated:
+                break
+            add_steiner_rows(lp, topo, [(i, j) for i, j, _ in violated])
+            pairs += [(i, j) for i, j, _ in violated]
+        else:
+            raise RuntimeError(
+                f"lazy row generation did not converge in {max_rounds} rounds"
+            )
+        assert e is not None
+
+    wall = time.perf_counter() - start
+    delays = sink_delays_linear(topo, e)
+    w = None if weights is None else np.asarray(weights, dtype=float)
+    cost = tree_cost(topo, e, weights=w)
+
+    if validate:
+        _validate_solution(topo, bounds, e, delays)
+
+    stats = SolveStats(
+        backend=result.backend,
+        mode=mode,
+        rounds=rounds,
+        steiner_rows=len(pairs),
+        total_pairs=topo.num_sinks * (topo.num_sinks - 1) // 2,
+        lp_iterations=iters,
+        wall_seconds=wall,
+    )
+    return LubtSolution(
+        topo,
+        bounds,
+        e,
+        cost,
+        delays,
+        stats,
+        w,
+        lp if keep_lp else None,
+        result if keep_lp else None,
+    )
+
+
+def _validate_solution(topo, bounds, e, delays) -> None:
+    """Exact post-checks: delay windows and all Steiner constraints."""
+    if not bounds.satisfied_by(delays, tol=1e-5):
+        raise AssertionError("solver returned delays outside the bounds")
+    leftovers = steiner_violations(topo, e, tol=1e-5, limit=1)
+    if leftovers:
+        i, j, v = leftovers[0]
+        raise AssertionError(
+            f"Steiner constraint ({i},{j}) violated by {v:g} after solve"
+        )

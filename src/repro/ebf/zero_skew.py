@@ -1,0 +1,149 @@
+"""Zero-skew special case (Section 4.6).
+
+With ``l_i = u_i`` the EBF inequalities collapse: the paper notes that all
+constraints reduce to ``n`` linear *equations* and "no optimization is
+necessary".  Operationally those equations are the classic linear-delay
+DME merge relations (Boese-Kahng [7]): at every internal node the two
+child subtrees' sink delays must be equalized, and the cheapest way to do
+so is determined by the distance between the children's merging regions:
+
+    |h_a - h_b| <= d :  e_a = (d + h_b - h_a) / 2,  e_b = d - e_a
+    h_a - h_b  >  d :  e_a = 0,  e_b = h_a - h_b     (wire elongation)
+
+where ``h`` is the (common) node-to-sink pathlength of a subtree and ``d``
+the distance between the children's merging regions.  This module solves
+those equations bottom-up with exact TRR arithmetic; tests verify the
+result equals the EBF LP optimum with ``l = u``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.delay import sink_delays_linear
+from repro.geometry import TRR
+from repro.lp import InfeasibleError
+from repro.topology import Topology
+
+
+@dataclass(frozen=True)
+class ZeroSkewSolution:
+    """Edge lengths of a minimum-cost zero-skew tree for a topology."""
+
+    edge_lengths: np.ndarray
+    cost: float
+    delay: float  # the common source-to-sink delay
+    merging_regions: dict[int, TRR]
+
+    @property
+    def skew(self) -> float:
+        return 0.0
+
+
+def solve_zero_skew(
+    topo: Topology, target_delay: float | None = None
+) -> ZeroSkewSolution:
+    """Minimum-cost zero-skew edge lengths for ``topo``.
+
+    ``target_delay=None`` yields the minimum achievable common delay
+    ``t*``; an explicit target must satisfy ``target >= t*`` (wire
+    elongation absorbs the slack: on the root edge for a fixed source, on
+    both root child edges for a free one) or :class:`InfeasibleError` is
+    raised.  Requires every sink to be a leaf (an interior sink forces a
+    sink-to-sink delay difference, so zero skew is impossible unless the
+    subtree collapses — we reject it outright).
+    """
+    for i in topo.sink_ids():
+        if not topo.is_leaf(i):
+            raise InfeasibleError(
+                f"sink {i} is interior: zero skew unachievable for this topology"
+            )
+
+    e = np.zeros(topo.num_nodes)
+    ms: dict[int, TRR] = {}
+    height: dict[int, float] = {}
+
+    for k in topo.postorder():
+        if topo.is_sink(k):
+            ms[k] = TRR.from_point(topo.sink_location(k))
+            height[k] = 0.0
+            continue
+        kids = list(topo.children(k))
+        if k == 0 and topo.source_location is not None:
+            continue  # handled after the sweep
+        if len(kids) == 0:
+            raise InfeasibleError(f"node {k} is a dangling Steiner point")
+        if len(kids) > 2:
+            raise InfeasibleError(
+                f"node {k} has {len(kids)} children; run "
+                "split_high_degree_steiner first (Section 3)"
+            )
+        if len(kids) == 1:
+            # Pass-through node: a zero-length edge preserves zero skew.
+            (a,) = kids
+            e[a] = 0.0
+            ms[k] = ms[a]
+            height[k] = height[a]
+            continue
+        a, b = kids
+        region, h, (e_a, e_b) = _merge(ms[a], height[a], ms[b], height[b])
+        e[a], e[b] = e_a, e_b
+        ms[k] = region
+        height[k] = h
+
+    # Root/source handling and the common delay.
+    src = topo.source_location
+    if src is None:
+        t_star = height[0]
+        slack_edges = list(topo.children(0))
+    else:
+        root_kids = topo.children(0)
+        if len(root_kids) != 1:
+            raise InfeasibleError(
+                "fixed-source zero-skew requires a single root child "
+                "(run split_high_degree_steiner)"
+            )
+        (child,) = root_kids
+        src_trr = TRR.from_point(src)
+        e[child] = ms[child].distance_to(src_trr)
+        ms[0] = src_trr
+        height[0] = height[child] + e[child]
+        t_star = height[0]
+        slack_edges = [child]
+
+    if target_delay is not None:
+        if target_delay < t_star - 1e-9:
+            raise InfeasibleError(
+                f"zero-skew target {target_delay:g} below the topology's "
+                f"minimum achievable delay {t_star:g}"
+            )
+        slack = max(0.0, target_delay - t_star)
+        for j in slack_edges:
+            e[j] += slack
+        t_star = target_delay
+
+    delays = sink_delays_linear(topo, e)
+    spread = float(delays.max() - delays.min()) if len(delays) else 0.0
+    if spread > 1e-6 * max(1.0, t_star):
+        raise AssertionError(f"zero-skew sweep left skew {spread:g}")
+    return ZeroSkewSolution(e, float(e[1:].sum()), t_star, ms)
+
+
+def _merge(
+    ms_a: TRR, h_a: float, ms_b: TRR, h_b: float
+) -> tuple[TRR, float, tuple[float, float]]:
+    """One DME merge: returns (merged region, new height, (e_a, e_b))."""
+    d = ms_a.distance_to(ms_b)
+    if abs(h_a - h_b) <= d:
+        e_a = (d + h_b - h_a) / 2.0
+        e_b = d - e_a
+    elif h_a > h_b:
+        e_a, e_b = 0.0, h_a - h_b  # detour wire on the b side
+    else:
+        e_a, e_b = h_b - h_a, 0.0
+    merged = ms_a.expanded(e_a).intersect(ms_b.expanded(e_b))
+    if merged.is_empty():
+        raise AssertionError("DME merge produced an empty region")
+    return merged, h_a + e_a, (e_a, e_b)

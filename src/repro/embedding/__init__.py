@@ -1,0 +1,34 @@
+"""Tree embedding: from edge lengths to Steiner-point coordinates (Sec. 5).
+
+The EBF determines edge lengths; this package realizes them in the
+Manhattan plane with the paper's two sweeps:
+
+1. **bottom-up** — feasible regions ``FR_k`` built by intersecting the
+   children's expanded TRRs (Figure 6);
+2. **top-down** — each point placed inside ``FR_k`` intersected with the
+   square TRR around its already-placed parent (Figure 7).
+
+Theorem 4.1 guarantees the sweeps never get stuck when the edge lengths
+satisfy the Steiner constraints; :func:`verify_embedding` checks the
+resulting placement (``e_k >= dist(s_k, parent)``) explicitly.
+"""
+
+from repro.embedding.feasible import EmbeddingError, feasible_regions
+from repro.embedding.placement import place_points, PLACEMENT_POLICIES
+from repro.embedding.verify import verify_embedding, embedding_violations
+from repro.embedding.pipeline import EmbeddedTree, embed_tree, solve_and_embed
+from repro.embedding.serpentine import serpentine_route, polyline_length
+
+__all__ = [
+    "serpentine_route",
+    "polyline_length",
+    "EmbeddingError",
+    "feasible_regions",
+    "place_points",
+    "PLACEMENT_POLICIES",
+    "verify_embedding",
+    "embedding_violations",
+    "EmbeddedTree",
+    "embed_tree",
+    "solve_and_embed",
+]

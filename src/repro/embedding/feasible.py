@@ -1,0 +1,88 @@
+"""Bottom-up feasible region construction (Section 5, Figure 6).
+
+For a Steiner point ``s_k`` with children ``c_1 .. c_j``:
+
+    FR_k = intersection of TRR(FR_{c_i}, e_{c_i})
+
+and ``TRR_k = TRR(FR_k, e_k)`` feeds the construction of ``k``'s parent.
+Sinks have point feasible regions at their given locations.  The appendix
+shows ``FR_k`` equals the intersection of square TRRs centered at the
+subtree's sinks with radii ``pathlength(sink, k)`` — an identity the test
+suite checks directly.
+
+An empty region means the edge lengths violate some Steiner constraint
+(the contrapositive of Theorem 4.1); we raise :class:`EmbeddingError`
+identifying the offending node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import TRR
+from repro.topology import Topology
+
+
+class EmbeddingError(RuntimeError):
+    """Raised when edge lengths admit no valid placement."""
+
+
+def feasible_regions(topo: Topology, edge_lengths) -> dict[int, TRR]:
+    """Compute ``FR_k`` for every node, bottom-up.
+
+    ``edge_lengths`` is indexed by node id (entry 0 unused).  For a fixed
+    source the root's region is additionally intersected with the source
+    point; Theorem 4.1 plus the fixed-source delay strengthening (see
+    :mod:`repro.ebf.formulation`) keeps it non-empty for EBF solutions.
+    """
+    e = np.asarray(edge_lengths, dtype=float)
+    if e.shape != (topo.num_nodes,):
+        raise ValueError("edge vector shape mismatch")
+    if np.any(e[1:] < -1e-9):
+        raise EmbeddingError("negative edge length")
+
+    fr: dict[int, TRR] = {}
+    for k in topo.postorder():
+        if topo.is_sink(k):
+            fr[k] = TRR.from_point(topo.sink_location(k))
+            continue
+        kids = topo.children(k)
+        if not kids:
+            raise EmbeddingError(f"Steiner node {k} has no children")
+        region = fr[kids[0]].expanded(max(0.0, e[kids[0]]))
+        for c in kids[1:]:
+            region = region.intersect(fr[c].expanded(max(0.0, e[c])))
+        if k == 0 and topo.source_location is not None:
+            region = region.intersect(TRR.from_point(topo.source_location))
+        if region.is_empty():
+            raise EmbeddingError(
+                f"feasible region of node {k} is empty: the edge lengths "
+                "violate a Steiner constraint (Theorem 4.1 contrapositive)"
+            )
+        fr[k] = region
+    return fr
+
+
+def feasible_region_via_sinks(topo: Topology, edge_lengths, k: int) -> TRR:
+    """The appendix's Equation 13 characterization of ``FR_k``:
+    intersection of sink-centered square TRRs with pathlength radii.
+
+    Exponentially clearer but quadratically slower than the sweep; used by
+    tests to validate :func:`feasible_regions`.
+    """
+    e = np.asarray(edge_lengths, dtype=float)
+    sinks = topo.subtree_sinks(k)
+    if not sinks:
+        raise EmbeddingError(f"node {k} has no sink descendants")
+    region: TRR | None = None
+    for i in sinks:
+        # pathlength(s_i, s_k): edges from the sink up to (excluding) k.
+        radius = 0.0
+        node = i
+        while node != k:
+            radius += e[node]
+            node = topo.parent(node)  # type: ignore[assignment]
+        ball = TRR.square(topo.sink_location(i), radius)
+        region = ball if region is None else region.intersect(ball)
+    assert region is not None
+    return region

@@ -1,0 +1,90 @@
+"""End-to-end embedding pipeline and the combined solve-and-embed entry.
+
+This is the full two-stage flow of the paper: EBF LP for edge lengths,
+then feasible regions + top-down placement for coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.delay import sink_delays_linear
+from repro.ebf.bounds import DelayBounds
+from repro.ebf.solver import LubtSolution, solve_lubt
+from repro.embedding.feasible import feasible_regions
+from repro.embedding.placement import place_points
+from repro.embedding.verify import verify_embedding
+from repro.geometry import Point, manhattan
+from repro.topology import Topology
+
+
+@dataclass(frozen=True)
+class EmbeddedTree:
+    """A routed tree: edge lengths plus realized coordinates.
+
+    ``cost`` counts the LP edge lengths (what the wires consume,
+    serpentine detours included); ``drawn_wirelength`` counts only the
+    point-to-point Manhattan distances (what a plot shows), which is
+    always <= cost.
+    """
+
+    topology: Topology
+    edge_lengths: np.ndarray
+    placements: dict[int, Point]
+
+    @property
+    def cost(self) -> float:
+        return float(self.edge_lengths[1:].sum())
+
+    @property
+    def drawn_wirelength(self) -> float:
+        return sum(
+            manhattan(self.placements[k], self.placements[self.topology.parent(k)])
+            for k in range(1, self.topology.num_nodes)
+        )
+
+    @property
+    def elongation(self) -> float:
+        """Total detour length (cost minus drawn wirelength)."""
+        return self.cost - self.drawn_wirelength
+
+    def sink_delays(self) -> np.ndarray:
+        return sink_delays_linear(self.topology, self.edge_lengths)
+
+    def root_location(self) -> Point:
+        return self.placements[0]
+
+
+def embed_tree(
+    topo: Topology,
+    edge_lengths,
+    policy: str = "nearest",
+    verify: bool = True,
+) -> EmbeddedTree:
+    """Realize ``edge_lengths`` as coordinates (Theorem 4.1 in code).
+
+    Raises :class:`repro.embedding.EmbeddingError` when the lengths
+    violate a Steiner constraint, and (with ``verify=True``) asserts the
+    resulting placement is valid.
+    """
+    e = np.asarray(edge_lengths, dtype=float)
+    fr = feasible_regions(topo, e)
+    placements = place_points(topo, e, fr, policy=policy)
+    if verify:
+        verify_embedding(topo, e, placements, tol=1e-5)
+    return EmbeddedTree(topo, e, placements)
+
+
+def solve_and_embed(
+    topo: Topology,
+    bounds: DelayBounds,
+    *,
+    policy: str = "nearest",
+    **solve_kwargs,
+) -> tuple[LubtSolution, EmbeddedTree]:
+    """One-call LUBT: LP solve then placement."""
+    sol = solve_lubt(topo, bounds, **solve_kwargs)
+    tree = embed_tree(topo, sol.edge_lengths, policy=policy)
+    return sol, tree

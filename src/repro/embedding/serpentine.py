@@ -1,0 +1,128 @@
+"""Serpentine realization of elongated wires.
+
+The paper's *wire elongation* (Section 2: ``e_i > dist(s_i, s_p)``) is an
+electrical length; a real layout must realize it as geometry.  This
+module turns an edge (two endpoints plus a required length) into an
+axis-aligned polyline of **exactly** that length: the plain L-route when
+the edge is tight, and an L-route with perpendicular zig-zags absorbing
+the detour otherwise.  Each zag of amplitude ``h`` adds ``2 h`` of wire,
+so any non-negative detour is realizable; the number of zags is chosen
+to respect a maximum amplitude (detours stay near the nominal route).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry import Point, manhattan
+
+_EPS = 1e-9
+
+
+def serpentine_route(
+    a: Point,
+    b: Point,
+    length: float,
+    max_amplitude: float | None = None,
+) -> list[Point]:
+    """Axis-aligned polyline from ``a`` to ``b`` of total L1 length
+    exactly ``length``.
+
+    ``length`` must be at least ``manhattan(a, b)`` (up to epsilon —
+    tiny LP noise is absorbed).  ``max_amplitude`` caps how far the
+    zig-zags stray from the nominal L-route (default: unlimited, one
+    bump).
+    """
+    d = manhattan(a, b)
+    if length < d - 1e-6:
+        raise ValueError(
+            f"requested length {length:g} below endpoint distance {d:g}"
+        )
+    extra = max(0.0, length - d)
+
+    if extra <= _EPS:
+        return _l_route(a, b)
+
+    # Choose zag amplitude and count: k zags of amplitude h, 2 k h = extra.
+    if max_amplitude is not None and max_amplitude > 0:
+        k = max(1, math.ceil(extra / (2.0 * max_amplitude)))
+    else:
+        k = 1
+    h = extra / (2.0 * k)
+
+    # Zig-zag along the longer axis of the route; perpendicular bumps.
+    dx = b.x - a.x
+    dy = b.y - a.y
+    horizontal = abs(dx) >= abs(dy)
+    span = abs(dx) if horizontal else abs(dy)
+
+    if span <= _EPS:
+        # Degenerate run (coincident or purely perpendicular): hang the
+        # zags off the start point instead.
+        out: list[Point] = [a]
+        for _ in range(k):
+            out.append(Point(a.x + h, a.y) if not horizontal else Point(a.x, a.y + h))
+            out.append(a)
+        return _extend(out, _l_route(a, b)[1:])
+
+    step = span / (k + 1)
+    sgn = 1.0 if (dx if horizontal else dy) >= 0 else -1.0
+    out = [a]
+    pos = 0.0
+    for i in range(1, k + 1):
+        pos = step * i
+        if horizontal:
+            base = Point(a.x + sgn * pos, a.y)
+            bump = Point(base.x, base.y + h)
+        else:
+            base = Point(a.x, a.y + sgn * pos)
+            bump = Point(base.x + h, base.y)
+        prev = out[-1]
+        if horizontal:
+            out.append(Point(base.x, prev.y))
+        else:
+            out.append(Point(prev.x, base.y))
+        out.append(bump)
+        out.append(base)
+    # Finish the remaining run plus the perpendicular leg.
+    if horizontal:
+        out.append(Point(b.x, a.y))
+        if abs(b.y - a.y) > _EPS:
+            out.append(b)
+    else:
+        out.append(Point(a.x, b.y))
+        if abs(b.x - a.x) > _EPS:
+            out.append(b)
+    return _dedupe(out, b)
+
+
+def polyline_length(points: list[Point]) -> float:
+    """Total L1 length of a polyline."""
+    return sum(
+        manhattan(p, q) for p, q in zip(points, points[1:])
+    )
+
+
+def _l_route(a: Point, b: Point) -> list[Point]:
+    """Horizontal-then-vertical L (degenerates to a straight segment)."""
+    if abs(a.x - b.x) <= _EPS or abs(a.y - b.y) <= _EPS:
+        return [a, b]
+    return [a, Point(b.x, a.y), b]
+
+
+def _extend(base: list[Point], tail: list[Point]) -> list[Point]:
+    out = list(base)
+    for p in tail:
+        if manhattan(out[-1], p) > _EPS:
+            out.append(p)
+    return out
+
+
+def _dedupe(points: list[Point], last: Point) -> list[Point]:
+    out: list[Point] = []
+    for p in points:
+        if not out or manhattan(out[-1], p) > _EPS:
+            out.append(p)
+    if manhattan(out[-1], last) > _EPS:
+        out.append(last)
+    return out

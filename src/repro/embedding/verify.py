@@ -1,0 +1,94 @@
+"""Embedding verification.
+
+A valid embedding must satisfy, for every non-root node ``k`` with parent
+``p`` (Section 2):
+
+    e_k >= dist(location(k), location(p))
+
+with equality for *tight* edges and strict inequality for *elongated*
+ones.  Sinks must sit at their given coordinates and a fixed source at its
+given location.  The verifier reports every violation rather than stopping
+at the first, which makes property-test failures diagnosable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Point, manhattan
+from repro.topology import Topology
+
+
+def embedding_violations(
+    topo: Topology,
+    edge_lengths,
+    placements: dict[int, Point],
+    tol: float = 1e-6,
+) -> list[str]:
+    """All violations of embedding validity, as human-readable strings."""
+    e = np.asarray(edge_lengths, dtype=float)
+    problems: list[str] = []
+
+    for i in topo.sink_ids():
+        want = topo.sink_location(i)
+        got = placements.get(i)
+        if got is None:
+            problems.append(f"sink {i} not placed")
+        elif manhattan(want, got) > tol:
+            problems.append(f"sink {i} placed at {got}, expected {want}")
+
+    if topo.source_location is not None:
+        got = placements.get(0)
+        if got is None or manhattan(topo.source_location, got) > tol:
+            problems.append(
+                f"source placed at {placements.get(0)}, expected "
+                f"{topo.source_location}"
+            )
+
+    for k in range(1, topo.num_nodes):
+        p = topo.parent(k)
+        if k not in placements or p not in placements:
+            problems.append(f"edge e_{k}: endpoint missing")
+            continue
+        d = manhattan(placements[k], placements[p])
+        if d > e[k] + tol:
+            problems.append(
+                f"edge e_{k} = {e[k]:g} shorter than embedded distance {d:g}"
+            )
+    return problems
+
+
+def verify_embedding(
+    topo: Topology,
+    edge_lengths,
+    placements: dict[int, Point],
+    tol: float = 1e-6,
+) -> None:
+    """Raise ``AssertionError`` listing all problems, if any."""
+    problems = embedding_violations(topo, edge_lengths, placements, tol)
+    if problems:
+        raise AssertionError(
+            "invalid embedding:\n  " + "\n  ".join(problems)
+        )
+
+
+def tight_edges(
+    topo: Topology,
+    edge_lengths,
+    placements: dict[int, Point],
+    tol: float = 1e-6,
+) -> tuple[list[int], list[int], list[int]]:
+    """Classify edges as (tight, elongated, degenerate) — Section 2 terms."""
+    e = np.asarray(edge_lengths, dtype=float)
+    tight: list[int] = []
+    elongated: list[int] = []
+    degenerate: list[int] = []
+    for k in range(1, topo.num_nodes):
+        d = manhattan(placements[k], placements[topo.parent(k)])
+        if e[k] <= tol:
+            degenerate.append(k)
+        elif abs(e[k] - d) <= tol:
+            tight.append(k)
+        else:
+            elongated.append(k)
+    return tight, elongated, degenerate

@@ -1,0 +1,41 @@
+"""Reproduction drivers for every table and figure in the evaluation.
+
+Each module regenerates one artifact of Section 8:
+
+* :mod:`repro.experiments.table1` — [9]-style baseline vs LUBT over skew
+  bounds {0, 0.01, 0.05, 0.1, 0.5, 1, 2, inf};
+* :mod:`repro.experiments.table2` — same skew, shifted [lower, upper]
+  windows;
+* :mod:`repro.experiments.table3` — global-routing style bound combos;
+* :mod:`repro.experiments.fig8` — the cost vs bounds tradeoff surface.
+
+The drivers are used by both the ``benchmarks/`` harness and the CLI, and
+include per-row shape assertions (see DESIGN.md "acceptance criteria") so
+a regression in any qualitative claim fails loudly.
+"""
+
+from repro.experiments.table1 import (
+    Table1Row,
+    run_table1,
+    run_table1_row,
+    render_table1,
+)
+from repro.experiments.table2 import Table2Row, run_table2, render_table2
+from repro.experiments.table3 import Table3Row, run_table3, render_table3
+from repro.experiments.fig8 import Fig8Point, run_fig8, render_fig8
+
+__all__ = [
+    "Table1Row",
+    "run_table1",
+    "run_table1_row",
+    "render_table1",
+    "Table2Row",
+    "run_table2",
+    "render_table2",
+    "Table3Row",
+    "run_table3",
+    "render_table3",
+    "Fig8Point",
+    "run_fig8",
+    "render_fig8",
+]

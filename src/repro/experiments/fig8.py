@@ -1,0 +1,116 @@
+"""Figure 8: the cost vs [lower, upper] bounds tradeoff curve (prim2).
+
+The paper plots tree cost against the bound window.  We regenerate the
+surface as a family of series: one per window *width* (the skew budget),
+sweeping the window position; each series traces how cost falls as the
+window slides away from the zero-skew corner and flattens once the bounds
+stop binding.  The figure's qualitative content — monotone decrease in
+both the width and the position until saturation at the unbounded-Steiner
+cost — is asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import Table
+from repro.data import Benchmark
+from repro.ebf import DelayBounds, solve_lubt
+from repro.geometry import manhattan_radius_from
+from repro.topology import nearest_neighbor_topology
+
+#: Window widths (skew budgets) and lower-bound sweep, normalized.
+DEFAULT_WIDTHS = (0.0, 0.1, 0.3, 0.5, 1.0)
+DEFAULT_LOWERS = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.25, 0.0)
+
+
+@dataclass(frozen=True)
+class Fig8Point:
+    bench: str
+    width: float  # u - l, normalized
+    lower: float  # normalized
+    upper: float  # normalized
+    cost: float
+
+
+def run_fig8(
+    bench: Benchmark,
+    widths=DEFAULT_WIDTHS,
+    lowers=DEFAULT_LOWERS,
+    backend: str = "auto",
+) -> list[Fig8Point]:
+    """The tradeoff sweep.  Windows are ``[l, max(l + w, 1)]`` so every
+    point is feasible (Eq. 3 needs u >= 1 in radius units)."""
+    sinks = list(bench.sinks)
+    radius = manhattan_radius_from(bench.source, sinks)
+    topo = nearest_neighbor_topology(sinks, bench.source)
+
+    points: list[Fig8Point] = []
+    for w in widths:
+        series: list[Fig8Point] = []
+        for lo in lowers:
+            hi = max(lo + w, 1.0)
+            bounds = DelayBounds.uniform(
+                bench.num_sinks, lo * radius, hi * radius
+            )
+            sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
+            series.append(Fig8Point(bench.name, w, lo, hi, sol.cost))
+        _check_series(series)
+        points.extend(series)
+    _check_across_widths(points)
+    return points
+
+
+def _check_series(series: list[Fig8Point]) -> None:
+    """Within one width, lowering the lower bound never raises cost."""
+    by_lower = sorted(series, key=lambda p: p.lower)
+    for looser, tighter in zip(by_lower, by_lower[1:]):
+        if looser.cost > tighter.cost + 1e-6 * max(1.0, tighter.cost):
+            raise AssertionError(
+                f"Fig 8 shape violated: cost rose from l={tighter.lower} "
+                f"to l={looser.lower} at width {tighter.width}"
+            )
+
+
+def _check_across_widths(points: list[Fig8Point]) -> None:
+    """At equal lower bound, a wider window never costs more."""
+    by_key: dict[float, list[Fig8Point]] = {}
+    for p in points:
+        by_key.setdefault(p.lower, []).append(p)
+    for lower, group in by_key.items():
+        group.sort(key=lambda p: p.width)
+        for narrow, wide in zip(group, group[1:]):
+            if wide.upper >= narrow.upper and wide.cost > narrow.cost + 1e-6 * max(
+                1.0, narrow.cost
+            ):
+                raise AssertionError(
+                    f"Fig 8 shape violated at l={lower}: widening the window "
+                    "increased cost"
+                )
+
+
+def render_fig8(points: list[Fig8Point]) -> str:
+    table = Table(
+        ["bench", "width (u-l)", "lower", "upper", "tree cost"],
+        title="Figure 8 data: tree cost vs [lower, upper] bounds "
+        "(bounds normalized to the radius)",
+    )
+    for p in points:
+        table.add_row(p.bench, p.width, p.lower, p.upper, p.cost)
+    return table.render()
+
+
+def ascii_plot(points: list[Fig8Point], plot_width: int = 60) -> str:
+    """A small terminal rendering of the tradeoff curves, one row per
+    (width, lower) combination, bar length proportional to cost."""
+    if not points:
+        return "(no points)"
+    max_cost = max(p.cost for p in points)
+    lines = ["cost vs bounds (each bar ~ tree cost)"]
+    for p in points:
+        bar = "#" * max(1, int(plot_width * p.cost / max_cost))
+        lines.append(
+            f"w={p.width:>4.2f} [l={p.lower:>4.2f},u={p.upper:>4.2f}] "
+            f"{bar} {p.cost:.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Table 1: routing costs for the bounded-skew baseline vs LUBT.
+
+Protocol (paper Section 8): for each benchmark and skew bound, run the
+[9]-style algorithm to obtain a topology, its tree cost, and the realized
+[shortest, longest] sink delays; then run EBF LUBT with exactly those
+delays as lower/upper bounds on the *same* topology.  By Theorem 4.2 the
+LUBT column can never exceed the baseline column — the relationship every
+row of the paper's Table 1 exhibits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.tables import Table
+from repro.baselines import bounded_skew_tree
+from repro.data import Benchmark
+from repro.ebf import DelayBounds, solve_lubt
+from repro.geometry import manhattan_radius_from
+
+#: The paper's skew-bound column (normalized to the radius).
+PAPER_SKEW_BOUNDS = (0.0, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, math.inf)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    bench: str
+    skew_bound: float  # normalized
+    shortest_delay: float  # normalized
+    longest_delay: float  # normalized
+    baseline_cost: float
+    lubt_cost: float
+
+    @property
+    def improvement(self) -> float:
+        """Fractional cost reduction of LUBT over the baseline."""
+        if self.baseline_cost == 0:
+            return 0.0
+        return 1.0 - self.lubt_cost / self.baseline_cost
+
+
+def run_table1_row(
+    bench: Benchmark, skew_bound: float, backend: str = "auto"
+) -> Table1Row:
+    """One (benchmark, skew bound) row of Table 1."""
+    sinks = list(bench.sinks)
+    radius = manhattan_radius_from(bench.source, sinks)
+    bound_abs = skew_bound * radius if math.isfinite(skew_bound) else math.inf
+
+    base = bounded_skew_tree(sinks, bound_abs, bench.source, verify=False)
+    bounds = DelayBounds.uniform(
+        bench.num_sinks, base.shortest_delay, base.longest_delay
+    )
+    sol = solve_lubt(base.topology, bounds, backend=backend, check_bounds=False)
+
+    if sol.cost > base.cost + 1e-6 * max(1.0, base.cost):
+        raise AssertionError(
+            f"Theorem 4.2 violated on {bench.name}: LUBT {sol.cost:g} > "
+            f"baseline {base.cost:g}"
+        )
+    return Table1Row(
+        bench=bench.name,
+        skew_bound=skew_bound,
+        shortest_delay=base.shortest_delay / radius,
+        longest_delay=base.longest_delay / radius,
+        baseline_cost=base.cost,
+        lubt_cost=sol.cost,
+    )
+
+
+def run_table1(
+    bench: Benchmark,
+    skew_bounds=PAPER_SKEW_BOUNDS,
+    backend: str = "auto",
+) -> list[Table1Row]:
+    """All rows of Table 1 for one benchmark, with shape checks.
+
+    Checks (DESIGN.md acceptance criteria): LUBT <= baseline on every row,
+    and the skew-0 row is the most expensive LUBT row (cost falls —
+    weakly, modulo topology changes across bounds — toward skew = inf).
+    """
+    rows = [run_table1_row(bench, s, backend) for s in skew_bounds]
+    zero_rows = [r for r in rows if r.skew_bound == 0.0]
+    inf_rows = [r for r in rows if math.isinf(r.skew_bound)]
+    if zero_rows and inf_rows:
+        if inf_rows[0].lubt_cost > zero_rows[0].lubt_cost + 1e-6:
+            raise AssertionError(
+                f"{bench.name}: unbounded-skew tree costs more than the "
+                "zero-skew tree — Table 1 shape violated"
+            )
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    table = Table(
+        [
+            "bench",
+            "skew bound",
+            "shortest delay",
+            "longest delay",
+            "baseline cost",
+            "LUBT cost",
+            "LUBT gain",
+        ],
+        title="Table 1: routing costs for the bounded-skew baseline and LUBT "
+        "(bounds normalized to the radius)",
+    )
+    for r in rows:
+        table.add_row(
+            r.bench,
+            r.skew_bound,
+            r.shortest_delay,
+            r.longest_delay,
+            r.baseline_cost,
+            r.lubt_cost,
+            f"{100 * r.improvement:.2f}%",
+        )
+    return table.render()

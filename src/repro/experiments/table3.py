@@ -1,0 +1,97 @@
+"""Table 3: other bound combinations (global routing and bounded-skew,
+bounded-longest-delay routing).
+
+The paper sweeps windows the baseline cannot express at all: near-zero
+skew windows pinned at the radius ([0.99, 1] ... [0.9, 1]), a loose
+low-power window [0.5, 1], and pure global-routing bounds with zero lower
+bound ([0, 1], [0, 1.5], [0, 2]).  Topology: the nearest-neighbor merge
+tree (the baseline's unbounded-skew topology), fixed across all rows of a
+benchmark so the cost column isolates the effect of the bounds.
+
+Shape claim checked here: "as the skew bound is tightened, the tree cost
+increases" — within each family (u = 1 windows tightening upward, and
+u growing with l = 0), cost is monotone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import Table
+from repro.data import Benchmark
+from repro.ebf import DelayBounds, solve_lubt
+from repro.geometry import manhattan_radius_from
+from repro.topology import nearest_neighbor_topology
+
+#: The paper's (lower, upper) combinations, normalized to the radius.
+PAPER_BOUND_COMBOS = (
+    (0.99, 1.0),
+    (0.98, 1.0),
+    (0.95, 1.0),
+    (0.90, 1.0),
+    (0.50, 1.0),
+    (0.00, 1.0),
+    (0.00, 1.5),
+    (0.00, 2.0),
+)
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    bench: str
+    lower: float  # normalized
+    upper: float  # normalized
+    cost: float
+
+
+def run_table3(
+    bench: Benchmark,
+    combos=PAPER_BOUND_COMBOS,
+    backend: str = "auto",
+) -> list[Table3Row]:
+    sinks = list(bench.sinks)
+    radius = manhattan_radius_from(bench.source, sinks)
+    topo = nearest_neighbor_topology(sinks, bench.source)
+
+    rows = []
+    for lo, hi in combos:
+        bounds = DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
+        sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
+        rows.append(Table3Row(bench.name, lo, hi, sol.cost))
+
+    _check_shapes(rows)
+    return rows
+
+
+def _check_shapes(rows: list[Table3Row]) -> None:
+    """Monotonicity within the two families of the paper's sweep."""
+    pinned = sorted(
+        (r for r in rows if r.upper == 1.0), key=lambda r: r.lower
+    )
+    for tighter, looser in zip(pinned[1:], pinned):
+        # Larger lower bound => tighter window => cost must not drop.
+        if tighter.cost < looser.cost - 1e-6 * max(1.0, looser.cost):
+            raise AssertionError(
+                f"{tighter.bench}: tightening [l, 1] from l={looser.lower} "
+                f"to l={tighter.lower} reduced cost — Table 3 shape violated"
+            )
+    global_routing = sorted(
+        (r for r in rows if r.lower == 0.0), key=lambda r: r.upper
+    )
+    for tight, loose in zip(global_routing, global_routing[1:]):
+        if loose.cost > tight.cost + 1e-6 * max(1.0, tight.cost):
+            raise AssertionError(
+                f"{loose.bench}: loosening [0, u] increased cost — "
+                "Table 3 shape violated"
+            )
+
+
+def render_table3(rows: list[Table3Row]) -> str:
+    table = Table(
+        ["bench", "lower bound", "upper bound", "tree cost"],
+        title="Table 3: LUBT cost for various other bounds "
+        "(bounds normalized to the radius)",
+    )
+    for r in rows:
+        table.add_row(r.bench, r.lower, r.upper, r.cost)
+    return table.render()

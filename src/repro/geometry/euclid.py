@@ -1,0 +1,94 @@
+"""Euclidean-metric helpers for the Section 4.7 counterexample.
+
+The paper shows EBF is *not* valid under the Euclidean metric: three unit
+disks of radius 1/2 centered at the corners of a unit equilateral triangle
+intersect pairwise but share no common point, so edge lengths satisfying the
+Steiner constraints need not be embeddable.  (Footnote 3: Helly fails for
+circles.)  These helpers let tests and examples demonstrate exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.geometry.point import Point, euclidean
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Disk:
+    """A closed Euclidean disk."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError(f"negative disk radius: {self.radius}")
+
+    def contains(self, p: Point, tol: float = _EPS) -> bool:
+        return euclidean(self.center, p) <= self.radius + tol
+
+    def intersects(self, other: "Disk", tol: float = _EPS) -> bool:
+        return euclidean(self.center, other.center) <= self.radius + other.radius + tol
+
+
+def pairwise_disks_intersect(disks: Sequence[Disk]) -> bool:
+    """True iff every pair of disks has non-empty intersection."""
+    return all(a.intersects(b) for a, b in itertools.combinations(disks, 2))
+
+
+def disks_have_common_point(disks: Sequence[Disk], tol: float = 1e-7) -> bool:
+    """Exact test for a common point of up to a few disks.
+
+    The intersection of closed disks is convex; it is non-empty iff the
+    point minimizing the maximum *normalized violation* lies in all disks.
+    For the small instances used in tests we find that point by checking
+    (a) each center, (b) each pairwise lens's two "deepest" candidates —
+    the intersection points of each pair of circles and the midpoint of the
+    center segment — against all disks.  This is exact for <= 3 disks (a
+    classical result: if 3 convex sets in the plane have pairwise but no
+    triple intersection, it is witnessed on the boundary arcs), and the
+    only consumer is the 3-disk counterexample plus tests.
+    """
+    if not disks:
+        raise ValueError("no disks")
+    if len(disks) == 1:
+        return True
+
+    candidates: list[Point] = [d.center for d in disks]
+    for a, b in itertools.combinations(disks, 2):
+        candidates.extend(_circle_intersections(a, b))
+        candidates.append(
+            Point(
+                (a.center.x + b.center.x) / 2.0,
+                (a.center.y + b.center.y) / 2.0,
+            )
+        )
+    return any(all(d.contains(p, tol) for d in disks) for p in candidates)
+
+
+def _circle_intersections(a: Disk, b: Disk) -> list[Point]:
+    """Intersection points of the two circles' boundaries (0, 1 or 2)."""
+    d = euclidean(a.center, b.center)
+    if d < _EPS:
+        return []
+    if d > a.radius + b.radius + _EPS:
+        return []
+    if d < abs(a.radius - b.radius) - _EPS:
+        return []
+    # Standard two-circle intersection.
+    x = (d * d - b.radius * b.radius + a.radius * a.radius) / (2.0 * d)
+    h_sq = a.radius * a.radius - x * x
+    h = math.sqrt(max(0.0, h_sq))
+    ex = (b.center.x - a.center.x) / d
+    ey = (b.center.y - a.center.y) / d
+    px = a.center.x + x * ex
+    py = a.center.y + x * ey
+    if h <= _EPS:
+        return [Point(px, py)]
+    return [Point(px - h * ey, py + h * ex), Point(px + h * ey, py - h * ex)]

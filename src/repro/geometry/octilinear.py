@@ -1,0 +1,341 @@
+"""Octilinear convex regions — the geometry of bounded-skew routing.
+
+The paper (Section 1) notes that with non-zero skew bounds "the feasible
+locations for Steiner points are octilinear convex polygons" [8, 9]: a
+convex region whose sides have slopes 0, infinity, +1 or -1.  Such a
+region is exactly the intersection of an axis-aligned box in ``(x, y)``
+with an axis-aligned box in the rotated frame ``(u, v) = (x+y, y-x)``,
+so eight scalars describe it:
+
+    x in [xlo, xhi],  y in [ylo, yhi],  u in [ulo, uhi],  v in [vlo, vhi]
+
+The representation is kept **canonical** (every bound tight with respect
+to the others) via the UTVPI/octagon closure rules, which makes emptiness
+and the other predicates trivial.  Operations:
+
+* ``intersect`` — componentwise bound intersection + canonicalization;
+* ``expanded(r)`` — Minkowski sum with the L1 ball: every one of the 8
+  support bounds grows by exactly ``r`` (both the diamond's xy and uv
+  supports are ``r``), canonical form is preserved;
+* ``distance_to`` — the L1 set distance in closed form:
+
+      dist(A, B) = max(gap_x + gap_y, gap_u, gap_v)
+
+  ``>=`` holds because L1 length decomposes over x and y (so the x and y
+  gaps add) and dominates both |du| and |dv|; ``<=`` because a witness
+  pair can always be constructed on the boundary (property-tested
+  against brute force in the test suite);
+* ``hull`` — componentwise bound hull (the smallest octilinear region
+  containing both).
+
+A :class:`repro.geometry.TRR` is the special case with vacuous xy
+bounds; an axis-aligned rectangle is the case with vacuous uv bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.point import Point
+
+_EPS = 1e-9
+_INF = math.inf
+
+
+@dataclass(frozen=True, slots=True)
+class Octilinear:
+    """A canonical octilinear convex region (possibly empty/degenerate)."""
+
+    xlo: float
+    xhi: float
+    ylo: float
+    yhi: float
+    ulo: float
+    uhi: float
+    vlo: float
+    vhi: float
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty() -> "Octilinear":
+        return Octilinear(1, -1, 1, -1, 1, -1, 1, -1)
+
+    @staticmethod
+    def whole_plane() -> "Octilinear":
+        return Octilinear(-_INF, _INF, -_INF, _INF, -_INF, _INF, -_INF, _INF)
+
+    @staticmethod
+    def from_point(p: Point) -> "Octilinear":
+        return Octilinear(p.x, p.x, p.y, p.y, p.u, p.u, p.v, p.v)
+
+    @staticmethod
+    def from_bounds(
+        xlo=-_INF, xhi=_INF, ylo=-_INF, yhi=_INF,
+        ulo=-_INF, uhi=_INF, vlo=-_INF, vhi=_INF,
+    ) -> "Octilinear":
+        """Build from raw bounds; canonicalizes (may come out empty)."""
+        return _canonicalize(xlo, xhi, ylo, yhi, ulo, uhi, vlo, vhi)
+
+    @staticmethod
+    def rect(xlo: float, xhi: float, ylo: float, yhi: float) -> "Octilinear":
+        """Axis-aligned rectangle."""
+        return Octilinear.from_bounds(xlo=xlo, xhi=xhi, ylo=ylo, yhi=yhi)
+
+    @staticmethod
+    def l1_ball(center: Point, radius: float) -> "Octilinear":
+        """The Manhattan disk (a diamond)."""
+        if radius < 0:
+            raise ValueError(f"negative radius {radius}")
+        return Octilinear.from_bounds(
+            ulo=center.u - radius,
+            uhi=center.u + radius,
+            vlo=center.v - radius,
+            vhi=center.v + radius,
+        )
+
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "Octilinear":
+        """Octilinear hull of a point set."""
+        pts = list(points)
+        if not pts:
+            return Octilinear.empty()
+        return Octilinear.from_bounds(
+            xlo=min(p.x for p in pts),
+            xhi=max(p.x for p in pts),
+            ylo=min(p.y for p in pts),
+            yhi=max(p.y for p in pts),
+            ulo=min(p.u for p in pts),
+            uhi=max(p.u for p in pts),
+            vlo=min(p.v for p in pts),
+            vhi=max(p.v for p in pts),
+        )
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return (
+            self.xhi - self.xlo < -_EPS
+            or self.yhi - self.ylo < -_EPS
+            or self.uhi - self.ulo < -_EPS
+            or self.vhi - self.vlo < -_EPS
+        )
+
+    def is_point(self) -> bool:
+        if self.is_empty():
+            return False
+        return (
+            self.xhi - self.xlo <= _EPS
+            and self.yhi - self.ylo <= _EPS
+        )
+
+    def contains(self, p: Point, tol: float = _EPS) -> bool:
+        if self.is_empty():
+            return False
+        return (
+            self.xlo - tol <= p.x <= self.xhi + tol
+            and self.ylo - tol <= p.y <= self.yhi + tol
+            and self.ulo - tol <= p.u <= self.uhi + tol
+            and self.vlo - tol <= p.v <= self.vhi + tol
+        )
+
+    def contains_region(self, other: "Octilinear", tol: float = _EPS) -> bool:
+        if other.is_empty():
+            return True
+        if self.is_empty():
+            return False
+        return (
+            self.xlo - tol <= other.xlo
+            and other.xhi <= self.xhi + tol
+            and self.ylo - tol <= other.ylo
+            and other.yhi <= self.yhi + tol
+            and self.ulo - tol <= other.ulo
+            and other.uhi <= self.uhi + tol
+            and self.vlo - tol <= other.vlo
+            and other.vhi <= self.vhi + tol
+        )
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Octilinear") -> "Octilinear":
+        if self.is_empty() or other.is_empty():
+            return Octilinear.empty()
+        return _canonicalize(
+            max(self.xlo, other.xlo),
+            min(self.xhi, other.xhi),
+            max(self.ylo, other.ylo),
+            min(self.yhi, other.yhi),
+            max(self.ulo, other.ulo),
+            min(self.uhi, other.uhi),
+            max(self.vlo, other.vlo),
+            min(self.vhi, other.vhi),
+        )
+
+    def expanded(self, r: float) -> "Octilinear":
+        """Minkowski sum with the L1 ball of radius ``r`` (exact)."""
+        if r < 0:
+            raise ValueError(f"negative expansion {r}")
+        if self.is_empty():
+            return self
+        # Support numbers of a Minkowski sum add; both polygons have all
+        # faces among the 8 directions, so no re-canonicalization needed.
+        return Octilinear(
+            self.xlo - r, self.xhi + r,
+            self.ylo - r, self.yhi + r,
+            self.ulo - r, self.uhi + r,
+            self.vlo - r, self.vhi + r,
+        )
+
+    def hull(self, other: "Octilinear") -> "Octilinear":
+        """Smallest octilinear region containing both."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return Octilinear(
+            min(self.xlo, other.xlo), max(self.xhi, other.xhi),
+            min(self.ylo, other.ylo), max(self.yhi, other.yhi),
+            min(self.ulo, other.ulo), max(self.uhi, other.uhi),
+            min(self.vlo, other.vlo), max(self.vhi, other.vhi),
+        )
+
+    def distance_to(self, other: "Octilinear") -> float:
+        """Minimum L1 distance between the two regions (0 if they meet)."""
+        if self.is_empty() or other.is_empty():
+            raise ValueError("distance involving an empty region")
+        gx = max(0.0, other.xlo - self.xhi, self.xlo - other.xhi)
+        gy = max(0.0, other.ylo - self.yhi, self.ylo - other.yhi)
+        gu = max(0.0, other.ulo - self.uhi, self.ulo - other.uhi)
+        gv = max(0.0, other.vlo - self.vhi, self.vlo - other.vhi)
+        return max(gx + gy, gu, gv)
+
+    def distance_to_point(self, p: Point) -> float:
+        return self.distance_to(Octilinear.from_point(p))
+
+    def closest_point_to(self, p: Point) -> Point:
+        """A point of the region at minimum L1 distance from ``p``.
+
+        Found by walking from ``p``: clamp into the xy box, then repair
+        any uv violation by sliding along the cheaper axis (a move along
+        x or y changes u and v by the same magnitude, so the repair never
+        breaks the satisfied bounds more than it fixes).
+        """
+        if self.is_empty():
+            raise ValueError("closest point of an empty region")
+        x = min(max(p.x, self.xlo), self.xhi)
+        y = min(max(p.y, self.ylo), self.yhi)
+        for _ in range(4):
+            u = x + y
+            v = y - x
+            if u < self.ulo - _EPS:
+                need = self.ulo - u
+                dx = min(need, self.xhi - x)
+                x += dx
+                y += need - dx
+            elif u > self.uhi + _EPS:
+                need = u - self.uhi
+                dx = min(need, x - self.xlo)
+                x -= dx
+                y -= need - dx
+            u = x + y
+            v = y - x
+            if v < self.vlo - _EPS:
+                need = self.vlo - v
+                dy = min(need, self.yhi - y)
+                y += dy
+                x -= need - dy
+            elif v > self.vhi + _EPS:
+                need = v - self.vhi
+                dy = min(need, y - self.ylo)
+                y -= dy
+                x += need - dy
+        out = Point(x, y)
+        if not self.contains(out, tol=1e-6):
+            # Fallback: exhaustive corner check (degenerate regions).
+            best, best_d = None, _INF
+            for c in self.corners():
+                d = abs(c.x - p.x) + abs(c.y - p.y)
+                if d < best_d:
+                    best, best_d = c, d
+            assert best is not None
+            return best
+        return out
+
+    def corners(self) -> list[Point]:
+        """Vertices of the region (up to 8, deduplicated, unordered)."""
+        if self.is_empty():
+            return []
+        out: list[Point] = []
+
+        def push(x: float, y: float) -> None:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                return
+            p = Point(x, y)
+            if self.contains(p, tol=1e-6) and all(
+                abs(p.x - q.x) + abs(p.y - q.y) > 1e-9 for q in out
+            ):
+                out.append(p)
+
+        # Intersections of adjacent constraint lines in the 8 directions.
+        for x in (self.xlo, self.xhi):
+            for y in (self.ylo, self.yhi):
+                push(x, y)
+            for u in (self.ulo, self.uhi):
+                push(x, u - x)
+            for v in (self.vlo, self.vhi):
+                push(x, v + x)
+        for y in (self.ylo, self.yhi):
+            for u in (self.ulo, self.uhi):
+                push(u - y, y)
+            for v in (self.vlo, self.vhi):
+                push(y - v, y)
+        for u in (self.ulo, self.uhi):
+            for v in (self.vlo, self.vhi):
+                push((u - v) / 2.0, (u + v) / 2.0)
+        return out
+
+    def __repr__(self) -> str:
+        if self.is_empty():
+            return "Octilinear(empty)"
+        return (
+            f"Octilinear(x=[{self.xlo:g},{self.xhi:g}], "
+            f"y=[{self.ylo:g},{self.yhi:g}], u=[{self.ulo:g},{self.uhi:g}], "
+            f"v=[{self.vlo:g},{self.vhi:g}])"
+        )
+
+
+def _canonicalize(
+    xlo, xhi, ylo, yhi, ulo, uhi, vlo, vhi
+) -> Octilinear:
+    """Tighten the 8 bounds to their octagon closure.
+
+    Rules (u = x + y, v = y - x):
+        uhi <= xhi + yhi          ulo >= xlo + ylo
+        vhi <= yhi - xlo          vlo >= ylo - xhi
+        xhi <= (uhi - vlo) / 2    xlo >= (ulo - vhi) / 2
+        yhi <= (uhi + vhi) / 2    ylo >= (ulo + vlo) / 2
+    Two passes reach the fixpoint for this constraint system.
+    """
+    if (
+        xlo > xhi + _EPS
+        or ylo > yhi + _EPS
+        or ulo > uhi + _EPS
+        or vlo > vhi + _EPS
+    ):
+        return Octilinear.empty()
+    for _ in range(3):
+        uhi = min(uhi, xhi + yhi)
+        ulo = max(ulo, xlo + ylo)
+        vhi = min(vhi, yhi - xlo)
+        vlo = max(vlo, ylo - xhi)
+        xhi = min(xhi, (uhi - vlo) / 2.0)
+        xlo = max(xlo, (ulo - vhi) / 2.0)
+        yhi = min(yhi, (uhi + vhi) / 2.0)
+        ylo = max(ylo, (ulo + vlo) / 2.0)
+    region = Octilinear(xlo, xhi, ylo, yhi, ulo, uhi, vlo, vhi)
+    return Octilinear.empty() if region.is_empty() else region

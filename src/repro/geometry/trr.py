@@ -1,0 +1,287 @@
+"""Tilted Rectangular Regions (TRRs) — Section 5 and the Appendix.
+
+A TRR is a (possibly degenerate) rectangle whose sides have slope +1 or -1 in
+the routing plane.  Under the rotation ``(u, v) = (x + y, y - x)`` every TRR
+is exactly an axis-aligned box ``[ulo, uhi] x [vlo, vhi]``, the Manhattan
+metric becomes the Chebyshev metric, and the paper's three TRR operations
+become elementary box arithmetic:
+
+* ``TRR(A, r)`` — all points within Manhattan distance ``r`` of ``A``
+  (Figure 5b) — is the box inflated by ``r`` on each side;
+* intersection of TRRs (Figure 5c) is box intersection;
+* the distance between separated TRRs is the Chebyshev box gap.
+
+Degenerate cases are first-class: a zero-width box is the paper's
+line-segment TRR, a zero-size box is a single point (``{s_k}`` in the text).
+
+Lemma 10.1 (the Helly property: pairwise-intersecting TRRs share a common
+point) is immediate for boxes — intervals on each rotated axis satisfy
+Helly's theorem in one dimension — and :func:`helly_intersection` exposes it.
+That property is exactly what fails for Euclidean disks, which is why EBF is
+restricted to the Manhattan metric (Section 4.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.geometry.point import Point
+
+#: Slack used when deciding emptiness/containment in floating point.
+GEOM_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class TRR:
+    """A tilted rectangular region stored as a box in rotated coordinates.
+
+    Use the constructors :meth:`from_point`, :meth:`square`, and
+    :meth:`from_points` rather than passing raw rotated bounds.
+    An *empty* TRR is represented by inverted bounds; test with
+    :meth:`is_empty`.
+    """
+
+    ulo: float
+    uhi: float
+    vlo: float
+    vhi: float
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty() -> "TRR":
+        return TRR(1.0, -1.0, 1.0, -1.0)
+
+    @staticmethod
+    def from_point(p: Point) -> "TRR":
+        """The singleton TRR ``{p}``."""
+        return TRR(p.u, p.u, p.v, p.v)
+
+    @staticmethod
+    def square(center: Point, radius: float) -> "TRR":
+        """Square TRR centered at ``center`` — the L1 ball of ``radius``.
+
+        The paper's analogue of a circle (Section 5).  ``radius`` must be
+        non-negative.
+        """
+        if radius < 0:
+            raise ValueError(f"negative TRR radius: {radius}")
+        return TRR(
+            center.u - radius, center.u + radius, center.v - radius, center.v + radius
+        )
+
+    @staticmethod
+    def from_points(points: Iterable[Point]) -> "TRR":
+        """Smallest TRR containing all ``points`` (their rotated bbox)."""
+        pts = list(points)
+        if not pts:
+            return TRR.empty()
+        us = [p.u for p in pts]
+        vs = [p.v for p in pts]
+        return TRR(min(us), max(us), min(vs), max(vs))
+
+    # ------------------------------------------------------------------
+    # predicates and scalar properties
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return self.uhi - self.ulo < -GEOM_EPS or self.vhi - self.vlo < -GEOM_EPS
+
+    def is_point(self) -> bool:
+        return (
+            not self.is_empty()
+            and abs(self.uhi - self.ulo) <= GEOM_EPS
+            and abs(self.vhi - self.vlo) <= GEOM_EPS
+        )
+
+    def is_segment(self) -> bool:
+        """True when the TRR has zero width but positive length."""
+        if self.is_empty() or self.is_point():
+            return False
+        return self.width <= GEOM_EPS
+
+    @property
+    def u_extent(self) -> float:
+        return max(0.0, self.uhi - self.ulo)
+
+    @property
+    def v_extent(self) -> float:
+        return max(0.0, self.vhi - self.vlo)
+
+    @property
+    def width(self) -> float:
+        """Length of the shorter pair of sides, in Manhattan-plane units.
+
+        The rotated frame doubles L2 lengths of the +-45-degree sides; side
+        lengths in the original plane are ``extent / sqrt(2) * sqrt(2) =
+        extent`` measured along the tilted side's own axis — we report the
+        rotated extent directly, which is the quantity all the algebra uses
+        (a TRR is a segment iff ``width == 0``, exactly as in the paper).
+        """
+        if self.is_empty():
+            return 0.0
+        return min(self.u_extent, self.v_extent)
+
+    @property
+    def length(self) -> float:
+        """Length of the longer pair of sides (rotated-frame extent)."""
+        if self.is_empty():
+            return 0.0
+        return max(self.u_extent, self.v_extent)
+
+    @property
+    def radius(self) -> float:
+        """Radius of a square TRR (Chebyshev distance center -> boundary)."""
+        if self.is_empty():
+            return 0.0
+        return max(self.u_extent, self.v_extent) / 2.0
+
+    def center(self) -> Point:
+        if self.is_empty():
+            raise ValueError("center of an empty TRR")
+        return Point.from_uv((self.ulo + self.uhi) / 2.0, (self.vlo + self.vhi) / 2.0)
+
+    def contains(self, p: Point, tol: float = GEOM_EPS) -> bool:
+        if self.is_empty():
+            return False
+        return (
+            self.ulo - tol <= p.u <= self.uhi + tol
+            and self.vlo - tol <= p.v <= self.vhi + tol
+        )
+
+    def contains_trr(self, other: "TRR", tol: float = GEOM_EPS) -> bool:
+        if other.is_empty():
+            return True
+        if self.is_empty():
+            return False
+        return (
+            self.ulo - tol <= other.ulo
+            and other.uhi <= self.uhi + tol
+            and self.vlo - tol <= other.vlo
+            and other.vhi <= self.vhi + tol
+        )
+
+    def corners(self) -> list[Point]:
+        """The four corners in the original frame (duplicates possible for
+        degenerate TRRs)."""
+        if self.is_empty():
+            return []
+        return [
+            Point.from_uv(self.ulo, self.vlo),
+            Point.from_uv(self.uhi, self.vlo),
+            Point.from_uv(self.uhi, self.vhi),
+            Point.from_uv(self.ulo, self.vhi),
+        ]
+
+    # ------------------------------------------------------------------
+    # the three core operations of Section 5
+    # ------------------------------------------------------------------
+    def expanded(self, r: float) -> "TRR":
+        """``TRR(self, r)`` — all points within Manhattan distance ``r``.
+
+        Figure 5(b).  Expanding an empty TRR stays empty.
+        """
+        if r < 0:
+            raise ValueError(f"negative expansion radius: {r}")
+        if self.is_empty():
+            return self
+        return TRR(self.ulo - r, self.uhi + r, self.vlo - r, self.vhi + r)
+
+    def intersect(self, other: "TRR") -> "TRR":
+        """Intersection of two TRRs — always a TRR (Figure 5(c))."""
+        if self.is_empty() or other.is_empty():
+            return TRR.empty()
+        out = TRR(
+            max(self.ulo, other.ulo),
+            min(self.uhi, other.uhi),
+            max(self.vlo, other.vlo),
+            min(self.vhi, other.vhi),
+        )
+        return out if not out.is_empty() else TRR.empty()
+
+    def hull(self, other: "TRR") -> "TRR":
+        """Smallest TRR containing both regions (componentwise bound hull)."""
+        if self.is_empty():
+            return other
+        if other.is_empty():
+            return self
+        return TRR(
+            min(self.ulo, other.ulo),
+            max(self.uhi, other.uhi),
+            min(self.vlo, other.vlo),
+            max(self.vhi, other.vhi),
+        )
+
+    def distance_to(self, other: "TRR") -> float:
+        """Minimum Manhattan distance between the two regions.
+
+        Zero when they intersect (Appendix definition of ``dist(TRR, TRR)``).
+        """
+        if self.is_empty() or other.is_empty():
+            raise ValueError("distance involving an empty TRR")
+        gap_u = max(0.0, other.ulo - self.uhi, self.ulo - other.uhi)
+        gap_v = max(0.0, other.vlo - self.vhi, self.vlo - other.vhi)
+        return max(gap_u, gap_v)
+
+    def distance_to_point(self, p: Point) -> float:
+        return self.distance_to(TRR.from_point(p))
+
+    def closest_point_to(self, p: Point) -> Point:
+        """The point of this TRR nearest to ``p`` (any minimizer).
+
+        In the rotated frame this is per-axis clamping, which minimizes the
+        Chebyshev (= original Manhattan) distance.
+        """
+        if self.is_empty():
+            raise ValueError("closest point of an empty TRR")
+        cu = min(max(p.u, self.ulo), self.uhi)
+        cv = min(max(p.v, self.vlo), self.vhi)
+        return Point.from_uv(cu, cv)
+
+    def sample_points(self, per_axis: int = 3) -> list[Point]:
+        """A small deterministic grid of points covering the region.
+
+        Used by property tests and placement policies; includes all corners
+        and the center.
+        """
+        if self.is_empty():
+            return []
+        if per_axis < 2:
+            return [self.center()]
+        out: list[Point] = []
+        for i in range(per_axis):
+            for j in range(per_axis):
+                fu = i / (per_axis - 1)
+                fv = j / (per_axis - 1)
+                out.append(
+                    Point.from_uv(
+                        self.ulo + fu * (self.uhi - self.ulo),
+                        self.vlo + fv * (self.vhi - self.vlo),
+                    )
+                )
+        return out
+
+    def __repr__(self) -> str:
+        if self.is_empty():
+            return "TRR(empty)"
+        return f"TRR(u=[{self.ulo:g},{self.uhi:g}], v=[{self.vlo:g},{self.vhi:g}])"
+
+
+def helly_intersection(trrs: Sequence[TRR]) -> TRR:
+    """Common intersection of many TRRs.
+
+    Lemma 10.1: if every *pair* of TRRs intersects, the common intersection
+    is non-empty.  For boxes this follows from the one-dimensional Helly
+    property on each rotated axis, so simply folding :meth:`TRR.intersect`
+    is exact.  An empty input yields the (degenerate) whole plane marker —
+    callers must pass at least one TRR.
+    """
+    if not trrs:
+        raise ValueError("helly_intersection of no TRRs")
+    out = trrs[0]
+    for t in trrs[1:]:
+        out = out.intersect(t)
+        if out.is_empty():
+            return TRR.empty()
+    return out

@@ -1,0 +1,33 @@
+"""Linear-programming substrate.
+
+The paper solves EBF with LOQO, a commercial interior-point solver that is
+not freely redistributable.  This package substitutes two interchangeable
+backends behind one interface:
+
+* :mod:`repro.lp.simplex` — a from-scratch dense two-phase primal simplex
+  (Bland anti-cycling), fully self-contained, used for small/medium LPs and
+  as an independent cross-check;
+* :mod:`repro.lp.scipy_backend` — ``scipy.optimize.linprog`` (HiGHS), used
+  for paper-scale instances.
+
+Both consume the same :class:`LinearProgram` model and produce the same
+:class:`LpResult`.  Since EBF is an exact LP, the optimal *cost* is backend
+independent (optimal vertices may differ), which tests verify.
+"""
+
+from repro.lp.model import LinearProgram, Sense
+from repro.lp.result import LpResult, LpStatus, InfeasibleError, UnboundedError
+from repro.lp.solve import solve_lp
+from repro.lp.io import lp_to_string, write_lp_file
+
+__all__ = [
+    "LinearProgram",
+    "Sense",
+    "LpResult",
+    "LpStatus",
+    "InfeasibleError",
+    "UnboundedError",
+    "solve_lp",
+    "lp_to_string",
+    "write_lp_file",
+]

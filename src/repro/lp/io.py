@@ -1,0 +1,90 @@
+"""CPLEX-LP-format export.
+
+Writes a :class:`repro.lp.LinearProgram` as an industry-standard ``.lp``
+file so an EBF instance can be handed to any external solver (CPLEX,
+Gurobi, glpsol, HiGHS CLI, or the paper's LOQO) unchanged.  The format
+written is the common subset every reader accepts::
+
+    Minimize
+     obj: 1 e1 + 1 e2 + ...
+    Subject To
+     steiner1,2: 1 e1 + 1 e2 >= 12
+     delay1.lo: ...
+    Bounds
+     e3 = 0
+     0 <= e1 <= 40
+    End
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.lp.model import LinearProgram, Sense
+
+_SENSE_TEXT = {Sense.LE: "<=", Sense.GE: ">=", Sense.EQ: "="}
+
+
+def lp_to_string(lp: LinearProgram, name: str = "ebf") -> str:
+    """Render the model in CPLEX LP format."""
+    lines: list[str] = [f"\\ {name}: exported by repro.lp"]
+    lines.append("Minimize" if lp.minimize else "Maximize")
+    lines.append(" obj: " + _linear_expr(
+        [(j, c) for j, c in enumerate(lp.costs) if c != 0.0], lp
+    ))
+
+    lines.append("Subject To")
+    for i in range(lp.num_constraints):
+        coeffs, sense, rhs = lp.row(i)
+        row_name = _sanitize(lp.row_name(i) or f"c{i}")
+        lines.append(
+            f" {row_name}: {_linear_expr(list(coeffs), lp)} "
+            f"{_SENSE_TEXT[sense]} {_fmt(rhs)}"
+        )
+
+    lines.append("Bounds")
+    lb, ub = lp.lower_bounds, lp.upper_bounds
+    for j in range(lp.num_variables):
+        var = _sanitize(lp.variable_name(j))
+        lo, hi = lb[j], ub[j]
+        if lo == hi:
+            lines.append(f" {var} = {_fmt(lo)}")
+        elif math.isinf(hi):
+            if lo != 0.0:
+                lines.append(f" {var} >= {_fmt(lo)}")
+            # default bound 0 <= x: nothing to write
+        else:
+            lines.append(f" {_fmt(lo)} <= {var} <= {_fmt(hi)}")
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def write_lp_file(path: str | Path, lp: LinearProgram, name: str = "ebf") -> None:
+    Path(path).write_text(lp_to_string(lp, name))
+
+
+def _linear_expr(coeffs: list[tuple[int, float]], lp: LinearProgram) -> str:
+    if not coeffs:
+        return "0 " + _sanitize(lp.variable_name(0)) if lp.num_variables else "0"
+    parts: list[str] = []
+    for k, (j, a) in enumerate(coeffs):
+        var = _sanitize(lp.variable_name(j))
+        sign = "-" if a < 0 else ("+" if k > 0 else "")
+        mag = abs(a)
+        parts.append(f"{sign} {_fmt(mag)} {var}" if k > 0 or sign else f"{_fmt(mag)} {var}")
+    return " ".join(parts).strip()
+
+
+def _fmt(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def _sanitize(name: str) -> str:
+    """LP-format identifiers: no spaces/commas; keep them readable."""
+    out = "".join(ch if ch.isalnum() or ch in "_.[]" else "_" for ch in name)
+    if not out or out[0].isdigit() or out[0] == ".":
+        out = "n" + out
+    return out

@@ -1,0 +1,223 @@
+"""A small sparse LP model builder.
+
+Models are of the form
+
+    min  c' x
+    s.t. row_i : sum_j a_ij x_j  (<= | >= | ==)  b_i
+         lb_j <= x_j <= ub_j          (lb defaults to 0, ub to +inf)
+
+which covers everything EBF needs: non-negative edge lengths, >= Steiner
+constraints, range delay constraints (expressed as a >= and a <= row), and
+pinned zero-length tie edges (lb = ub = 0).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Mapping
+
+import numpy as np
+from scipy import sparse
+
+
+class Sense(Enum):
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(slots=True)
+class _Row:
+    coeffs: tuple[tuple[int, float], ...]
+    sense: Sense
+    rhs: float
+    name: str = ""
+
+
+@dataclass
+class LinearProgram:
+    """Sparse LP model; rows/columns are appended and never removed."""
+
+    minimize: bool = True
+    _costs: list[float] = field(default_factory=list)
+    _lb: list[float] = field(default_factory=list)
+    _ub: list[float] = field(default_factory=list)
+    _names: list[str] = field(default_factory=list)
+    _rows: list[_Row] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+    def add_variable(
+        self,
+        name: str = "",
+        cost: float = 0.0,
+        lb: float = 0.0,
+        ub: float = math.inf,
+    ) -> int:
+        """Add a variable; returns its column index."""
+        if lb > ub:
+            raise ValueError(f"variable {name!r}: lb {lb} > ub {ub}")
+        self._costs.append(float(cost))
+        self._lb.append(float(lb))
+        self._ub.append(float(ub))
+        self._names.append(name or f"x{len(self._costs) - 1}")
+        return len(self._costs) - 1
+
+    def add_variables(self, count: int, prefix: str = "x", cost: float = 0.0) -> range:
+        start = len(self._costs)
+        for k in range(count):
+            self.add_variable(f"{prefix}{start + k}", cost=cost)
+        return range(start, start + count)
+
+    def set_cost(self, var: int, cost: float) -> None:
+        self._costs[var] = float(cost)
+
+    def fix_variable(self, var: int, value: float) -> None:
+        self._lb[var] = float(value)
+        self._ub[var] = float(value)
+
+    def add_constraint(
+        self,
+        coeffs: Mapping[int, float] | Iterable[tuple[int, float]],
+        sense: Sense,
+        rhs: float,
+        name: str = "",
+    ) -> int:
+        """Add a row; duplicate variable entries are summed."""
+        items = coeffs.items() if isinstance(coeffs, Mapping) else coeffs
+        acc: dict[int, float] = {}
+        for j, a in items:
+            if not (0 <= j < len(self._costs)):
+                raise ValueError(f"constraint references unknown variable {j}")
+            acc[j] = acc.get(j, 0.0) + float(a)
+        row = _Row(tuple(sorted(acc.items())), sense, float(rhs), name)
+        self._rows.append(row)
+        return len(self._rows) - 1
+
+    def add_range_constraint(
+        self,
+        coeffs: Mapping[int, float] | Iterable[tuple[int, float]],
+        lo: float,
+        hi: float,
+        name: str = "",
+    ) -> tuple[int, ...]:
+        """``lo <= a'x <= hi`` expressed as up to two rows.
+
+        An infinite bound on either side drops the corresponding row;
+        ``lo == hi`` emits a single equality.
+        """
+        if lo > hi:
+            raise ValueError(f"range constraint {name!r}: lo {lo} > hi {hi}")
+        items = list(coeffs.items() if isinstance(coeffs, Mapping) else coeffs)
+        if lo == hi and math.isfinite(lo):
+            return (self.add_constraint(items, Sense.EQ, lo, name),)
+        rows = []
+        if math.isfinite(lo) and lo > -math.inf:
+            rows.append(self.add_constraint(items, Sense.GE, lo, f"{name}.lo"))
+        if math.isfinite(hi):
+            rows.append(self.add_constraint(items, Sense.LE, hi, f"{name}.hi"))
+        return tuple(rows)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return len(self._costs)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._rows)
+
+    @property
+    def costs(self) -> np.ndarray:
+        return np.asarray(self._costs, dtype=float)
+
+    @property
+    def lower_bounds(self) -> np.ndarray:
+        return np.asarray(self._lb, dtype=float)
+
+    @property
+    def upper_bounds(self) -> np.ndarray:
+        return np.asarray(self._ub, dtype=float)
+
+    def variable_name(self, j: int) -> str:
+        return self._names[j]
+
+    def row_name(self, i: int) -> str:
+        return self._rows[i].name
+
+    def row_sense(self, i: int) -> Sense:
+        return self._rows[i].sense
+
+    def row(self, i: int) -> tuple[tuple[tuple[int, float], ...], Sense, float]:
+        r = self._rows[i]
+        return r.coeffs, r.sense, r.rhs
+
+    def evaluate_row(self, i: int, x: np.ndarray) -> float:
+        r = self._rows[i]
+        return float(sum(a * x[j] for j, a in r.coeffs))
+
+    def residuals(self, x: np.ndarray) -> np.ndarray:
+        """Signed feasibility slack per row (>= 0 means satisfied)."""
+        out = np.empty(len(self._rows))
+        for i, r in enumerate(self._rows):
+            lhs = sum(a * x[j] for j, a in r.coeffs)
+            if r.sense is Sense.LE:
+                out[i] = r.rhs - lhs
+            elif r.sense is Sense.GE:
+                out[i] = lhs - r.rhs
+            else:
+                out[i] = -abs(lhs - r.rhs)
+        return out
+
+    def is_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        lb, ub = self.lower_bounds, self.upper_bounds
+        if np.any(x < lb - tol) or np.any(x > ub + tol):
+            return False
+        return bool(np.all(self.residuals(x) >= -tol))
+
+    def objective_value(self, x: np.ndarray) -> float:
+        return float(self.costs @ x)
+
+    # ------------------------------------------------------------------
+    # matrix export (for the scipy backend)
+    # ------------------------------------------------------------------
+    def to_arrays(self):
+        """Export as ``(c, A_ub, b_ub, A_eq, b_eq, bounds)``.
+
+        GE rows are negated into <= form.  Matrices are CSR; either may be
+        ``None`` when there are no rows of that kind.
+        """
+        n = self.num_variables
+        ub_rows: list[_Row] = []
+        eq_rows: list[_Row] = []
+        for r in self._rows:
+            (eq_rows if r.sense is Sense.EQ else ub_rows).append(r)
+
+        def build(rows: list[_Row], negate_ge: bool):
+            if not rows:
+                return None, None
+            data, idx, ptr, rhs = [], [], [0], []
+            for r in rows:
+                flip = -1.0 if (negate_ge and r.sense is Sense.GE) else 1.0
+                for j, a in r.coeffs:
+                    idx.append(j)
+                    data.append(flip * a)
+                ptr.append(len(idx))
+                rhs.append(flip * r.rhs)
+            mat = sparse.csr_matrix(
+                (data, idx, ptr), shape=(len(rows), n), dtype=float
+            )
+            return mat, np.asarray(rhs, dtype=float)
+
+        a_ub, b_ub = build(ub_rows, negate_ge=True)
+        a_eq, b_eq = build(eq_rows, negate_ge=False)
+        bounds = [
+            (lo, None if math.isinf(hi) else hi)
+            for lo, hi in zip(self._lb, self._ub)
+        ]
+        return self.costs, a_ub, b_ub, a_eq, b_eq, bounds

@@ -1,0 +1,61 @@
+"""Solver-independent result and status types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+
+class LpStatus(Enum):
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+
+class InfeasibleError(RuntimeError):
+    """Raised when a model required to be feasible is not.
+
+    For LUBT this is meaningful, not exceptional bookkeeping: the paper
+    (Section 9) notes that an infeasible EBF certifies that *no* LUBT
+    exists for the given topology and bounds.
+    """
+
+
+class UnboundedError(RuntimeError):
+    """Raised when the LP is unbounded (cannot happen for well-formed EBF,
+    whose objective is a non-negative sum)."""
+
+
+@dataclass(frozen=True, slots=True)
+class LpResult:
+    """Outcome of one LP solve.
+
+    ``duals`` (when the backend provides them) are shadow prices per
+    model row, oriented as d(objective)/d(rhs) for the row as written —
+    e.g. a positive dual on a ``>=`` row means tightening it (raising
+    the rhs) raises the minimum cost.
+    """
+
+    status: LpStatus
+    x: np.ndarray | None
+    objective: float | None
+    iterations: int
+    backend: str
+    duals: np.ndarray | None = None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is LpStatus.OPTIMAL
+
+    def require_optimal(self) -> "LpResult":
+        """Return self or raise the matching error for a failed solve."""
+        if self.status is LpStatus.OPTIMAL:
+            return self
+        if self.status is LpStatus.INFEASIBLE:
+            raise InfeasibleError(f"LP infeasible (backend={self.backend})")
+        if self.status is LpStatus.UNBOUNDED:
+            raise UnboundedError(f"LP unbounded (backend={self.backend})")
+        raise RuntimeError(f"LP solve failed (backend={self.backend})")

@@ -1,0 +1,75 @@
+"""scipy (HiGHS) backend for paper-scale LPs."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.lp.model import LinearProgram, Sense
+from repro.lp.result import LpResult, LpStatus
+
+_STATUS_MAP = {
+    0: LpStatus.OPTIMAL,
+    1: LpStatus.ERROR,  # iteration limit
+    2: LpStatus.INFEASIBLE,
+    3: LpStatus.UNBOUNDED,
+    4: LpStatus.ERROR,
+}
+
+
+def solve_scipy(lp: LinearProgram) -> LpResult:
+    """Solve with ``scipy.optimize.linprog(method='highs')``."""
+    c, a_ub, b_ub, a_eq, b_eq, bounds = lp.to_arrays()
+    sign = 1.0 if lp.minimize else -1.0
+    res = linprog(
+        sign * c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        A_eq=a_eq,
+        b_eq=b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    status = _STATUS_MAP.get(res.status, LpStatus.ERROR)
+    iterations = int(getattr(res, "nit", 0) or 0)
+    if status is not LpStatus.OPTIMAL or res.x is None:
+        return LpResult(status, None, None, iterations, "scipy-highs")
+    duals = _model_row_duals(lp, res, sign)
+    return LpResult(
+        LpStatus.OPTIMAL,
+        res.x,
+        lp.objective_value(res.x),
+        iterations,
+        "scipy-highs",
+        duals,
+    )
+
+
+def _model_row_duals(lp: LinearProgram, res, sign: float) -> np.ndarray | None:
+    """Map HiGHS marginals back to model rows in their original
+    orientation (d objective / d rhs of the row as written)."""
+    ineq = getattr(res, "ineqlin", None)
+    eq = getattr(res, "eqlin", None)
+    try:
+        ineq_marg = None if ineq is None else np.asarray(ineq.marginals)
+        eq_marg = None if eq is None else np.asarray(eq.marginals)
+    except AttributeError:
+        return None
+    duals = np.zeros(lp.num_constraints)
+    ub_pos = 0
+    eq_pos = 0
+    for i in range(lp.num_constraints):
+        sense = lp.row_sense(i)
+        if sense is Sense.EQ:
+            if eq_marg is None:
+                return None
+            duals[i] = sign * eq_marg[eq_pos]
+            eq_pos += 1
+        else:
+            if ineq_marg is None:
+                return None
+            m = sign * ineq_marg[ub_pos]
+            # GE rows were negated into <= form; d obj/d b flips sign.
+            duals[i] = -m if sense is Sense.GE else m
+            ub_pos += 1
+    return duals

@@ -1,0 +1,30 @@
+"""Backend dispatch for LP solving."""
+
+from __future__ import annotations
+
+from repro.lp.model import LinearProgram
+from repro.lp.result import LpResult
+
+#: Above this many rows the dense tableau simplex becomes wasteful and we
+#: route "auto" to scipy/HiGHS instead.
+_SIMPLEX_ROW_LIMIT = 400
+
+
+def solve_lp(lp: LinearProgram, backend: str = "auto") -> LpResult:
+    """Solve ``lp`` with the requested backend.
+
+    ``backend`` is one of ``"auto"`` (size-based choice), ``"simplex"``
+    (the from-scratch solver), or ``"scipy"`` (HiGHS).
+    """
+    from repro.lp.scipy_backend import solve_scipy
+    from repro.lp.simplex import solve_simplex
+
+    if backend == "auto":
+        backend = (
+            "simplex" if lp.num_constraints <= _SIMPLEX_ROW_LIMIT else "scipy"
+        )
+    if backend == "simplex":
+        return solve_simplex(lp)
+    if backend == "scipy":
+        return solve_scipy(lp)
+    raise ValueError(f"unknown LP backend {backend!r}")

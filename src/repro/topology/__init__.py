@@ -1,0 +1,59 @@
+"""Rooted routing-tree topologies (Sections 2 and 3).
+
+A *topology* is pure connectivity: the source ``s_0``, sinks ``s_1..s_m``
+(locations given), and Steiner points ``s_{m+1}..s_n`` (locations to be
+determined).  Each non-root node ``s_i`` owns the edge ``e_i`` to its parent
+— the paper's edge/node identification, kept verbatim here.
+
+This package provides the data structure, validation, the degree-4 Steiner
+split of Section 3 / Figure 2, and topology *generators* (nearest-neighbor
+merge in the style the paper adopts from [9]/[5], plus a balanced geometric
+bipartition alternative).
+"""
+
+from repro.topology.tree import Topology, NodeKind
+from repro.topology.builders import (
+    nearest_neighbor_topology,
+    balanced_bipartition_topology,
+    star_topology,
+    chain_topology,
+    topology_from_parents,
+    binary_merge_tree,
+)
+from repro.topology.split import split_high_degree_steiner
+from repro.topology.validate import (
+    TopologyError,
+    validate_topology,
+    all_sinks_are_leaves,
+)
+from repro.topology.guided import (
+    bounds_guided_topology,
+    balance_aware_topology,
+)
+from repro.topology.serialize import (
+    topology_to_dict,
+    topology_from_dict,
+    save_tree,
+    load_tree,
+)
+
+__all__ = [
+    "Topology",
+    "NodeKind",
+    "nearest_neighbor_topology",
+    "balanced_bipartition_topology",
+    "star_topology",
+    "chain_topology",
+    "topology_from_parents",
+    "binary_merge_tree",
+    "split_high_degree_steiner",
+    "TopologyError",
+    "validate_topology",
+    "all_sinks_are_leaves",
+    "bounds_guided_topology",
+    "balance_aware_topology",
+    "topology_to_dict",
+    "topology_from_dict",
+    "save_tree",
+    "load_tree",
+]

@@ -1,0 +1,202 @@
+"""Topology generators.
+
+The paper adopts the topology generator of [9] (Huang/Kahng/Tsao), which is
+"based on nearest neighbor merge [5]" (Edahiro) and produces **full binary
+trees in which every sink is a leaf**, so Lemma 3.1 guarantees LUBT
+feasibility for any valid bounds.  :func:`nearest_neighbor_topology`
+implements that merge rule; :func:`balanced_bipartition_topology` is a
+classic top-down alternative (means-and-medians style) used for ablations.
+``star`` and ``chain`` builders construct the degenerate topologies of
+Figure 1 used in feasibility tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.topology.tree import Topology
+
+
+def topology_from_parents(
+    parents: list[int | None],
+    sink_locations: list[Point],
+    source_location: Point | None = None,
+) -> Topology:
+    """Build a :class:`Topology` from an explicit parent array.
+
+    Convenience wrapper that infers ``num_sinks`` from the location list.
+    """
+    return Topology(parents, len(sink_locations), sink_locations, source_location)
+
+
+def star_topology(
+    sinks: list[Point], source: Point | None = None
+) -> Topology:
+    """Every sink connected directly to the root — no Steiner points."""
+    m = len(sinks)
+    parents: list[int | None] = [None] + [0] * m
+    return Topology(parents, m, sinks, source)
+
+
+def chain_topology(
+    sinks: list[Point], source: Point | None = None
+) -> Topology:
+    """Root -> s_1 -> s_2 -> ... — the Figure 1(a) shape where interior
+    sinks are *not* leaves (and LUBTs may not exist)."""
+    m = len(sinks)
+    parents: list[int | None] = [None] + [i for i in range(m)]
+    return Topology(parents, m, sinks, source)
+
+
+def nearest_neighbor_topology(
+    sinks: list[Point], source: Point | None = None
+) -> Topology:
+    """Bottom-up nearest-neighbor merge (Edahiro-style, see [5] and [9]).
+
+    Repeatedly merges the two clusters whose representative points are
+    closest in Manhattan distance; the merged cluster's representative is
+    the midpoint of the two.  Produces a full binary tree with all sinks as
+    leaves.  When ``source`` is given, the root node 0 is the source with
+    the top merge node as its only child (paper Section 3); otherwise the
+    top merge node *is* the root ``s_0`` whose location is free.
+    """
+    m = len(sinks)
+    if m == 0:
+        raise ValueError("cannot build a topology over zero sinks")
+    if m == 1:
+        return Topology([None, 0], 1, sinks, source)
+
+    merges = _nearest_neighbor_merge_order(sinks)
+    topo, _ = binary_merge_tree(sinks, merges, source)
+    return topo
+
+
+def balanced_bipartition_topology(
+    sinks: list[Point], source: Point | None = None
+) -> Topology:
+    """Top-down recursive median bipartition on the wider bbox axis.
+
+    Also yields a full binary tree with all sinks as leaves; used as an
+    alternative generator in ablation experiments.
+    """
+    m = len(sinks)
+    if m == 0:
+        raise ValueError("cannot build a topology over zero sinks")
+    if m == 1:
+        return Topology([None, 0], 1, sinks, source)
+
+    # Build merge list bottom-up from a top-down partition: process with an
+    # explicit stack, emitting (left_token, right_token) merges postorder.
+    xs = np.array([p.x for p in sinks])
+    ys = np.array([p.y for p in sinks])
+
+    merges: list[tuple[int, int]] = []
+    next_internal = [m]  # internal tokens start at m (leaf tokens are 0..m-1)
+
+    def partition(indices: np.ndarray) -> int:
+        """Return the token of the subtree over ``indices`` (iteratively
+        unrolled below — this inner function recursion depth is log2(m))."""
+        if len(indices) == 1:
+            return int(indices[0])
+        span_x = xs[indices].max() - xs[indices].min()
+        span_y = ys[indices].max() - ys[indices].min()
+        key = xs[indices] if span_x >= span_y else ys[indices]
+        order = indices[np.argsort(key, kind="stable")]
+        half = len(order) // 2
+        left = partition(order[:half])
+        right = partition(order[half:])
+        token = next_internal[0]
+        next_internal[0] += 1
+        merges.append((left, right))
+        return token
+
+    partition(np.arange(m))
+    topo, _ = binary_merge_tree(sinks, merges, source)
+    return topo
+
+
+# ----------------------------------------------------------------------
+# internals
+# ----------------------------------------------------------------------
+def _nearest_neighbor_merge_order(sinks: list[Point]) -> list[tuple[int, int]]:
+    """Agglomerative merge order over sink tokens ``0..m-1``; merged
+    clusters receive tokens ``m, m+1, ...`` in creation order."""
+    m = len(sinks)
+    reps_u = np.array([p.u for p in sinks], dtype=float)
+    reps_v = np.array([p.v for p in sinks], dtype=float)
+    # Chebyshev distance in (u, v) == Manhattan distance in (x, y).
+    dist = np.maximum(
+        np.abs(reps_u[:, None] - reps_u[None, :]),
+        np.abs(reps_v[:, None] - reps_v[None, :]),
+    )
+    np.fill_diagonal(dist, np.inf)
+
+    # slot -> current cluster token occupying that matrix row/column
+    token_of_slot = list(range(m))
+    active = np.ones(m, dtype=bool)
+    merges: list[tuple[int, int]] = []
+    next_token = m
+
+    for _ in range(m - 1):
+        flat = np.argmin(dist)
+        a, b = divmod(int(flat), m)
+        merges.append((token_of_slot[a], token_of_slot[b]))
+        # Merge b into a's slot: representative is the midpoint.
+        reps_u[a] = (reps_u[a] + reps_u[b]) / 2.0
+        reps_v[a] = (reps_v[a] + reps_v[b]) / 2.0
+        token_of_slot[a] = next_token
+        next_token += 1
+        active[b] = False
+        dist[b, :] = np.inf
+        dist[:, b] = np.inf
+        d_new = np.maximum(
+            np.abs(reps_u - reps_u[a]), np.abs(reps_v - reps_v[a])
+        )
+        d_new[~active] = np.inf
+        d_new[a] = np.inf
+        dist[a, :] = d_new
+        dist[:, a] = d_new
+    return merges
+
+
+def binary_merge_tree(
+    sinks: list[Point],
+    merges: list[tuple[int, int]],
+    source: Point | None,
+) -> tuple[Topology, dict[int, int]]:
+    """Convert a merge sequence over tokens into a paper-numbered Topology.
+
+    Tokens: ``0..m-1`` are sinks in input order; token ``m+k`` is the
+    cluster created by ``merges[k]``.  The final merge is the tree top.
+    Returns the topology plus the token -> node-id map (used by merge
+    algorithms — e.g. the bounded-skew baseline — that must transfer
+    per-cluster edge lengths onto the final numbering).
+    """
+    m = len(sinks)
+    n_internal = len(merges)
+    top_token = m + n_internal - 1
+
+    # Map tokens to final node ids.  Sinks: token t -> node t+1.  Internal
+    # nodes other than the top: Steiner ids m+1.. in creation order.  The
+    # top token becomes the root (0) when the source floats, else the last
+    # Steiner id with the true source as node 0.
+    node_of: dict[int, int] = {t: t + 1 for t in range(m)}
+    next_steiner = m + 1
+    for k in range(n_internal):
+        token = m + k
+        if source is None and token == top_token:
+            node_of[token] = 0
+        else:
+            node_of[token] = next_steiner
+            next_steiner += 1
+
+    total_nodes = 1 + m + (n_internal if source is not None else n_internal - 1)
+    parents: list[int | None] = [None] * total_nodes
+    for k, (a, b) in enumerate(merges):
+        pa = node_of[m + k]
+        parents[node_of[a]] = pa
+        parents[node_of[b]] = pa
+    if source is not None:
+        parents[node_of[top_token]] = 0
+    return Topology(parents, m, sinks, source), node_of

@@ -1,0 +1,105 @@
+"""Topology and routed-tree (de)serialization.
+
+Plain-JSON format so solved trees can be stored next to a design, diffed,
+and reloaded without this library.  Schema::
+
+    {
+      "format": "lubt-tree-v1",
+      "num_sinks": 3,
+      "parents": [null, 4, 4, 0, 0],
+      "sinks": [[x, y], ...],
+      "source": [x, y] | null,
+      "edge_lengths": [...],        # optional
+      "placements": [[x, y], ...]   # optional, index = node id
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.topology.tree import Topology
+
+FORMAT = "lubt-tree-v1"
+
+
+def topology_to_dict(
+    topo: Topology,
+    edge_lengths: np.ndarray | None = None,
+    placements: dict[int, Point] | None = None,
+) -> dict[str, Any]:
+    """Serialize a topology (optionally with lengths and placements)."""
+    out: dict[str, Any] = {
+        "format": FORMAT,
+        "num_sinks": topo.num_sinks,
+        "parents": [topo.parent(i) for i in range(topo.num_nodes)],
+        "sinks": [[p.x, p.y] for p in topo.sink_locations],
+        "source": (
+            [topo.source_location.x, topo.source_location.y]
+            if topo.source_location is not None
+            else None
+        ),
+    }
+    if edge_lengths is not None:
+        e = np.asarray(edge_lengths, dtype=float)
+        if e.shape != (topo.num_nodes,):
+            raise ValueError("edge_lengths shape mismatch")
+        out["edge_lengths"] = e.tolist()
+    if placements is not None:
+        out["placements"] = [
+            [placements[i].x, placements[i].y] for i in range(topo.num_nodes)
+        ]
+    return out
+
+
+def topology_from_dict(
+    data: dict[str, Any],
+) -> tuple[Topology, np.ndarray | None, dict[int, Point] | None]:
+    """Inverse of :func:`topology_to_dict`.
+
+    Returns ``(topology, edge_lengths | None, placements | None)``.
+    """
+    if data.get("format") != FORMAT:
+        raise ValueError(f"not a {FORMAT} document")
+    sinks = [Point(float(x), float(y)) for x, y in data["sinks"]]
+    src = data.get("source")
+    source = Point(float(src[0]), float(src[1])) if src is not None else None
+    topo = Topology(data["parents"], int(data["num_sinks"]), sinks, source)
+
+    e = None
+    if "edge_lengths" in data:
+        e = np.asarray(data["edge_lengths"], dtype=float)
+        if e.shape != (topo.num_nodes,):
+            raise ValueError("edge_lengths shape mismatch")
+    placements = None
+    if "placements" in data:
+        raw = data["placements"]
+        if len(raw) != topo.num_nodes:
+            raise ValueError("placements length mismatch")
+        placements = {
+            i: Point(float(x), float(y)) for i, (x, y) in enumerate(raw)
+        }
+    return topo, e, placements
+
+
+def save_tree(
+    path: str | Path,
+    topo: Topology,
+    edge_lengths: np.ndarray | None = None,
+    placements: dict[int, Point] | None = None,
+) -> None:
+    """Write a topology/tree JSON file."""
+    doc = topology_to_dict(topo, edge_lengths, placements)
+    Path(path).write_text(json.dumps(doc, indent=1))
+
+
+def load_tree(
+    path: str | Path,
+) -> tuple[Topology, np.ndarray | None, dict[int, Point] | None]:
+    """Read a topology/tree JSON file."""
+    return topology_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,60 @@
+"""Degree-4 Steiner point splitting (Section 3, Figure 2).
+
+In the Manhattan plane every Steiner point has degree 3 or 4.  The paper
+splits each degree-4 Steiner point ``S`` into ``S1``/``S2`` joined by a new
+zero-length edge so that every Steiner point has exactly one parent and two
+children.  This transformation does not change the LUBT solution; the new
+edge's length is pinned to zero.
+
+:func:`split_high_degree_steiner` generalizes the construction to any
+number of children (splitting repeatedly), returning the new topology plus
+the set of edge ids that must be fixed to zero in the EBF.
+"""
+
+from __future__ import annotations
+
+from repro.topology.tree import Topology
+
+
+def split_high_degree_steiner(topo: Topology) -> tuple[Topology, frozenset[int]]:
+    """Split every Steiner/root node with more than two children.
+
+    Returns ``(new_topology, zero_edges)`` where ``zero_edges`` are the ids
+    of the freshly introduced tie edges whose lengths the EBF must force to
+    zero.  Sink nodes are never split (the paper only splits Steiner
+    points); node ids of the root and all sinks are preserved, and
+    pre-existing Steiner nodes keep their ids because new nodes are
+    appended after them.
+    """
+    m = topo.num_sinks
+    parents: list[int | None] = [topo.parent(i) for i in range(topo.num_nodes)]
+    children: dict[int, list[int]] = {
+        i: list(topo.children(i)) for i in range(topo.num_nodes)
+    }
+    zero_edges: set[int] = set()
+    next_id = topo.num_nodes
+
+    # Work queue of nodes that may need splitting; appended nodes are
+    # enqueued too so chains of splits terminate with all fan-outs <= 2.
+    queue = [i for i in range(topo.num_nodes) if not topo.is_sink(i)]
+    while queue:
+        node = queue.pop()
+        kids = children[node]
+        while len(kids) > 2:
+            # Peel two children into a fresh Steiner node tied to `node`
+            # with a zero-length edge (Figure 2 applied repeatedly).
+            a = kids.pop()
+            b = kids.pop()
+            fresh = next_id
+            next_id += 1
+            parents.append(node)
+            children[fresh] = [a, b]
+            parents[a] = fresh
+            parents[b] = fresh
+            kids.append(fresh)
+            zero_edges.add(fresh)
+
+    new_topo = Topology(
+        parents, m, list(topo.sink_locations), topo.source_location
+    )
+    return new_topo, frozenset(zero_edges)

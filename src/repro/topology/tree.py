@@ -1,0 +1,286 @@
+"""The rooted topology data structure (paper Section 2).
+
+Node numbering follows the paper exactly:
+
+* node ``0`` is the root/source ``s_0`` (its location may be ``None``),
+* nodes ``1..m`` are sinks with given locations,
+* nodes ``m+1..n`` are Steiner points whose locations are unknown.
+
+Each non-root node ``i`` owns edge ``e_i`` connecting it to its parent, so an
+edge-length assignment is simply a vector indexed by node id with entry 0
+unused.  All traversals are iterative (topologies can be chains hundreds of
+nodes deep).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterator, Sequence
+
+from repro.geometry import Point
+
+
+class NodeKind(Enum):
+    ROOT = "root"
+    SINK = "sink"
+    STEINER = "steiner"
+
+
+class Topology:
+    """An immutable rooted tree over source, sinks and Steiner points.
+
+    Parameters
+    ----------
+    parents:
+        ``parents[i]`` is the parent node id of node ``i``; ``parents[0]``
+        must be ``None``.  Length is ``n + 1`` (total node count).
+    num_sinks:
+        ``m``; nodes ``1..m`` are sinks, the rest Steiner points.
+    sink_locations:
+        The ``m`` given sink locations, ``sink_locations[i - 1]`` for sink
+        ``i``.
+    source_location:
+        Location of ``s_0`` or ``None`` when the source may float (the
+        paper's "source location is not given" case).
+    """
+
+    def __init__(
+        self,
+        parents: Sequence[int | None],
+        num_sinks: int,
+        sink_locations: Sequence[Point],
+        source_location: Point | None = None,
+    ) -> None:
+        if not parents or parents[0] is not None:
+            raise ValueError("parents[0] must be None (node 0 is the root)")
+        if num_sinks < 1:
+            raise ValueError("a topology needs at least one sink")
+        if len(sink_locations) != num_sinks:
+            raise ValueError(
+                f"{num_sinks} sinks declared but {len(sink_locations)} locations given"
+            )
+        if len(parents) < num_sinks + 1:
+            raise ValueError("parents array shorter than 1 + num_sinks")
+
+        self._parents: tuple[int | None, ...] = tuple(parents)
+        self._m = num_sinks
+        self._sink_locations: tuple[Point, ...] = tuple(sink_locations)
+        self._source_location = source_location
+
+        n_nodes = len(parents)
+        self._children: list[list[int]] = [[] for _ in range(n_nodes)]
+        for i in range(1, n_nodes):
+            p = parents[i]
+            if p is None or not (0 <= p < n_nodes) or p == i:
+                raise ValueError(f"node {i} has invalid parent {p!r}")
+            self._children[p].append(i)
+
+        self._depth = self._compute_depths()
+        self._post = self._compute_postorder()
+        # Binary-lifting table, built lazily on first LCA query.
+        self._lift: list[list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # shape accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._parents)
+
+    @property
+    def num_sinks(self) -> int:
+        return self._m
+
+    @property
+    def num_edges(self) -> int:
+        """``n`` — one edge per non-root node."""
+        return self.num_nodes - 1
+
+    @property
+    def num_steiner(self) -> int:
+        return self.num_nodes - 1 - self._m
+
+    @property
+    def source_location(self) -> Point | None:
+        return self._source_location
+
+    @property
+    def sink_locations(self) -> tuple[Point, ...]:
+        return self._sink_locations
+
+    def sink_ids(self) -> range:
+        return range(1, self._m + 1)
+
+    def steiner_ids(self) -> range:
+        return range(self._m + 1, self.num_nodes)
+
+    def kind(self, i: int) -> NodeKind:
+        if i == 0:
+            return NodeKind.ROOT
+        if i <= self._m:
+            return NodeKind.SINK
+        return NodeKind.STEINER
+
+    def is_sink(self, i: int) -> bool:
+        return 1 <= i <= self._m
+
+    def is_leaf(self, i: int) -> bool:
+        return not self._children[i]
+
+    def parent(self, i: int) -> int | None:
+        return self._parents[i]
+
+    def children(self, i: int) -> tuple[int, ...]:
+        return tuple(self._children[i])
+
+    def degree(self, i: int) -> int:
+        """Tree degree (children + parent edge)."""
+        return len(self._children[i]) + (0 if i == 0 else 1)
+
+    def depth(self, i: int) -> int:
+        return self._depth[i]
+
+    def sink_location(self, i: int) -> Point:
+        if not self.is_sink(i):
+            raise ValueError(f"node {i} is not a sink")
+        return self._sink_locations[i - 1]
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def postorder(self) -> tuple[int, ...]:
+        """Children before parents; root last."""
+        return self._post
+
+    def preorder(self) -> Iterator[int]:
+        """Parents before children; root first."""
+        return reversed(self._post)
+
+    def path_to_root(self, i: int) -> list[int]:
+        """Edge ids (= node ids) on the path from node ``i`` up to the root.
+
+        ``path_to_root(0)`` is empty; otherwise the list starts at ``i``.
+        """
+        out = []
+        while i != 0:
+            out.append(i)
+            i = self._parents[i]  # type: ignore[assignment]
+        return out
+
+    def lca(self, a: int, b: int) -> int:
+        """Lowest common ancestor via binary lifting (O(log n) per query)."""
+        if self._lift is None:
+            self._build_lift()
+        lift = self._lift
+        assert lift is not None
+        if self._depth[a] < self._depth[b]:
+            a, b = b, a
+        diff = self._depth[a] - self._depth[b]
+        level = 0
+        while diff:
+            if diff & 1:
+                a = lift[level][a]
+            diff >>= 1
+            level += 1
+        if a == b:
+            return a
+        for level in range(len(lift) - 1, -1, -1):
+            if lift[level][a] != lift[level][b]:
+                a = lift[level][a]
+                b = lift[level][b]
+        return self._parents[a]  # type: ignore[return-value]
+
+    def path_between(self, a: int, b: int) -> list[int]:
+        """Edge ids on the tree path between nodes ``a`` and ``b``.
+
+        This is the paper's ``path(s_a, s_b)``: both legs down from the LCA.
+        """
+        k = self.lca(a, b)
+        out = []
+        i = a
+        while i != k:
+            out.append(i)
+            i = self._parents[i]  # type: ignore[assignment]
+        i = b
+        while i != k:
+            out.append(i)
+            i = self._parents[i]  # type: ignore[assignment]
+        return out
+
+    def subtree_nodes(self, k: int) -> list[int]:
+        """All nodes of the subtree rooted at ``k`` (including ``k``)."""
+        out = [k]
+        stack = list(self._children[k])
+        while stack:
+            i = stack.pop()
+            out.append(i)
+            stack.extend(self._children[i])
+        return out
+
+    def subtree_sinks(self, k: int) -> list[int]:
+        """Sink ids in the subtree rooted at ``k`` (the sinks of ``T_k``)."""
+        return [i for i in self.subtree_nodes(k) if self.is_sink(i)]
+
+    def sinks_under(self) -> list[list[int]]:
+        """For every node, the sorted sinks of its subtree — O(n * m) total,
+        computed in one postorder sweep."""
+        acc: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for i in self._post:
+            own = [i] if self.is_sink(i) else []
+            merged = own
+            for c in self._children[i]:
+                merged = merged + acc[c]
+            acc[i] = merged
+        return acc
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _compute_depths(self) -> list[int]:
+        n = self.num_nodes
+        depth = [-1] * n
+        depth[0] = 0
+        # BFS from the root so chains of any depth work.
+        frontier = [0]
+        seen = 1
+        while frontier:
+            nxt = []
+            for p in frontier:
+                for c in self._children[p]:
+                    depth[c] = depth[p] + 1
+                    nxt.append(c)
+                    seen += 1
+            frontier = nxt
+        if seen != n:
+            raise ValueError("parents array does not form a tree rooted at 0")
+        return depth
+
+    def _compute_postorder(self) -> tuple[int, ...]:
+        order: list[int] = []
+        stack: list[int] = [0]
+        while stack:
+            i = stack.pop()
+            order.append(i)
+            stack.extend(self._children[i])
+        order.reverse()  # reversed preorder with children pushed = postorder
+        return tuple(order)
+
+    def _build_lift(self) -> None:
+        n = self.num_nodes
+        max_depth = max(self._depth)
+        levels = max(1, max_depth.bit_length())
+        lift = [[0] * n]
+        for i in range(n):
+            p = self._parents[i]
+            lift[0][i] = p if p is not None else 0
+        for lv in range(1, levels):
+            prev = lift[lv - 1]
+            lift.append([prev[prev[i]] for i in range(n)])
+        self._lift = lift
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(nodes={self.num_nodes}, sinks={self.num_sinks}, "
+            f"steiner={self.num_steiner}, "
+            f"source={'fixed' if self._source_location else 'free'})"
+        )

@@ -1,0 +1,48 @@
+"""Topology validation helpers.
+
+The EBF accepts any rooted topology, but the paper's feasibility guarantee
+(Lemma 3.1) requires every sink to be a leaf.  :func:`validate_topology`
+checks structural sanity; :func:`all_sinks_are_leaves` checks the Lemma 3.1
+precondition so callers can warn (or assert) before solving.
+"""
+
+from __future__ import annotations
+
+from repro.topology.tree import Topology
+
+
+class TopologyError(ValueError):
+    """Raised when a topology violates a structural requirement."""
+
+
+def validate_topology(topo: Topology, require_binary: bool = False) -> None:
+    """Raise :class:`TopologyError` on malformed topologies.
+
+    Checks that every Steiner point actually branches (a degree-2 Steiner
+    point is useless and indicates a builder bug), and that with
+    ``require_binary`` no node exceeds the paper's degree-3 assumption
+    (root with free location: two children; fixed root: one child;
+    Steiner: two children).
+    """
+    for k in topo.steiner_ids():
+        if topo.is_leaf(k):
+            raise TopologyError(f"Steiner point {k} is a leaf (dangling)")
+    if require_binary:
+        for k in topo.steiner_ids():
+            if len(topo.children(k)) > 2:
+                raise TopologyError(
+                    f"Steiner point {k} has {len(topo.children(k))} children; "
+                    "run split_high_degree_steiner first"
+                )
+        root_kids = len(topo.children(0))
+        limit = 1 if topo.source_location is not None else 2
+        if root_kids > limit:
+            raise TopologyError(
+                f"root has {root_kids} children (limit {limit} for "
+                f"{'fixed' if topo.source_location is not None else 'free'} source)"
+            )
+
+
+def all_sinks_are_leaves(topo: Topology) -> bool:
+    """Lemma 3.1 precondition: LUBT feasibility for any valid bounds."""
+    return all(topo.is_leaf(i) for i in topo.sink_ids())

@@ -1,0 +1,165 @@
+"""Focused tests for the two comparator constructions and TRR.hull."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    bounded_skew_tree,
+    greedy_attachment_tree,
+    trimmed_zero_skew_tree,
+)
+from repro.delay import sink_delays_linear
+from repro.ebf import solve_zero_skew
+from repro.embedding import embed_tree
+from repro.geometry import Point, TRR, manhattan_radius_from
+from repro.topology import nearest_neighbor_topology, validate_topology
+
+
+def random_sinks(m, seed, span=200):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.integers(0, span, (m, 2))]
+
+
+class TestGreedyAttachment:
+    @given(st.integers(1, 25), st.integers(0, 500),
+           st.sampled_from([0.0, 0.2, 1.0, math.inf]))
+    @settings(max_examples=60, deadline=None)
+    def test_valid_and_within_bound(self, m, seed, rel):
+        sinks = random_sinks(m, seed)
+        src = Point(100.0, 100.0)
+        r = max(manhattan_radius_from(src, sinks), 1.0)
+        bound = rel * r if math.isfinite(rel) else math.inf
+        tree = greedy_attachment_tree(sinks, bound, src, verify=True)
+        if math.isfinite(bound):
+            assert tree.skew <= bound + 1e-6
+        # verify=True already embedded; do it once more explicitly.
+        embedded = embed_tree(tree.topology, tree.edge_lengths)
+        assert embedded.cost == pytest.approx(tree.cost)
+
+    def test_zero_bound_equalizes_delays(self):
+        sinks = random_sinks(12, 3)
+        src = Point(100.0, 100.0)
+        tree = greedy_attachment_tree(sinks, 0.0, src)
+        r = manhattan_radius_from(src, sinks)
+        assert tree.delays == pytest.approx(np.full(12, r))
+
+    def test_infinite_bound_no_elongation(self):
+        """At B=inf every edge is tight: cost == drawn wirelength."""
+        sinks = random_sinks(15, 9)
+        src = Point(100.0, 100.0)
+        tree = greedy_attachment_tree(sinks, math.inf, src)
+        embedded = embed_tree(tree.topology, tree.edge_lengths)
+        assert embedded.elongation == pytest.approx(0.0, abs=1e-6)
+
+    def test_free_source_roots_at_bbox_center(self):
+        sinks = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        tree = greedy_attachment_tree(sinks, math.inf, None)
+        assert tree.topology.source_location is None
+        # bbox center (5,5): farthest sink at L1 distance 10.
+        assert tree.longest_delay == pytest.approx(10.0)
+
+    def test_taps_are_binary(self):
+        sinks = random_sinks(20, 11)
+        tree = greedy_attachment_tree(sinks, math.inf, Point(100, 100))
+        validate_topology(tree.topology)
+        for k in tree.topology.steiner_ids():
+            assert len(tree.topology.children(k)) <= 2
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_attachment_tree([Point(0, 0)], -1.0, Point(1, 1))
+
+    def test_no_sinks_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_attachment_tree([], 0.0, Point(0, 0))
+
+    def test_coincident_sinks(self):
+        sinks = [Point(5, 5)] * 4
+        tree = greedy_attachment_tree(sinks, 0.0, Point(0, 0))
+        assert tree.delays == pytest.approx(np.full(4, 10.0))
+
+
+class TestTrimmedZst:
+    def test_zero_budget_is_exact_dme(self):
+        sinks = random_sinks(14, 21)
+        src = Point(100.0, 100.0)
+        tree = trimmed_zero_skew_tree(sinks, 0.0, src)
+        dme = solve_zero_skew(nearest_neighbor_topology(sinks, src))
+        assert tree.cost == pytest.approx(dme.cost)
+        assert tree.skew == pytest.approx(0.0, abs=1e-9)
+
+    @given(st.integers(2, 16), st.integers(0, 500), st.floats(0.0, 2.0))
+    @settings(max_examples=50, deadline=None)
+    def test_budget_respected_and_monotone(self, m, seed, rel):
+        sinks = random_sinks(m, seed)
+        src = Point(100.0, 100.0)
+        r = max(manhattan_radius_from(src, sinks), 1.0)
+        base = trimmed_zero_skew_tree(sinks, 0.0, src)
+        trimmed = trimmed_zero_skew_tree(sinks, rel * r, src)
+        assert trimmed.skew <= rel * r + 1e-6
+        assert trimmed.cost <= base.cost + 1e-6
+        # The maximum delay never increases (trimming only speeds up).
+        assert trimmed.longest_delay <= base.longest_delay + 1e-6
+
+    def test_trimmed_tree_embeds(self):
+        sinks = random_sinks(10, 31)
+        src = Point(100.0, 100.0)
+        r = manhattan_radius_from(src, sinks)
+        tree = trimmed_zero_skew_tree(sinks, 0.3 * r, src)
+        embedded = embed_tree(tree.topology, tree.edge_lengths)
+        d = sink_delays_linear(tree.topology, tree.edge_lengths)
+        assert d == pytest.approx(tree.delays)
+        assert embedded.cost == pytest.approx(tree.cost)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            trimmed_zero_skew_tree([Point(0, 0)], -0.5, Point(1, 1))
+
+
+class TestComparatorEnvelope:
+    @given(st.integers(2, 18), st.integers(0, 400),
+           st.sampled_from([0.0, 0.1, 0.5, 2.0, math.inf]))
+    @settings(max_examples=50, deadline=None)
+    def test_envelope_is_min_of_both(self, m, seed, rel):
+        sinks = random_sinks(m, seed)
+        src = Point(100.0, 100.0)
+        r = max(manhattan_radius_from(src, sinks), 1.0)
+        bound = rel * r if math.isfinite(rel) else math.inf
+        combined = bounded_skew_tree(sinks, bound, src, verify=False)
+        greedy = greedy_attachment_tree(sinks, bound, src, verify=False)
+        trimmed = trimmed_zero_skew_tree(sinks, bound, src)
+        assert combined.cost == pytest.approx(
+            min(greedy.cost, trimmed.cost), rel=1e-9
+        )
+
+    def test_single_sink_uses_greedy(self):
+        tree = bounded_skew_tree([Point(3, 4)], 0.0, Point(0, 0))
+        assert tree.cost == pytest.approx(7.0)
+
+
+class TestTrrHull:
+    @given(
+        st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+        st.floats(0, 50),
+        st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+        st.floats(0, 50),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_hull_contains_both(self, c1, r1, c2, r2):
+        a = TRR.square(Point(*c1), r1)
+        b = TRR.square(Point(*c2), r2)
+        h = a.hull(b)
+        assert h.contains_trr(a)
+        assert h.contains_trr(b)
+        # Minimality on each rotated axis.
+        assert h.ulo == min(a.ulo, b.ulo)
+        assert h.uhi == max(a.uhi, b.uhi)
+
+    def test_hull_with_empty(self):
+        a = TRR.square(Point(0, 0), 1.0)
+        assert a.hull(TRR.empty()) == a
+        assert TRR.empty().hull(a) == a

@@ -1,0 +1,129 @@
+"""Tests for van Ginneken buffer insertion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import Buffer, van_ginneken
+from repro.delay import ElmoreParameters, sink_delays_elmore
+from repro.geometry import Point
+from repro.topology import Topology, nearest_neighbor_topology
+
+PARAMS = ElmoreParameters(wire_resistance=1.0, wire_capacitance=1.0)
+BUF = Buffer(input_cap=0.2, intrinsic_delay=1.0, output_resistance=0.1)
+
+
+def chain_with_mid():
+    """root(0) -> steiner(2) -> sink(1); two edges of length 5."""
+    topo = Topology([None, 2, 0], 1, [Point(10.0, 0.0)], Point(0.0, 0.0))
+    e = np.array([0.0, 5.0, 5.0])
+    return topo, e
+
+
+class TestBufferModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Buffer(input_cap=0.0, intrinsic_delay=1.0, output_resistance=1.0)
+        with pytest.raises(ValueError):
+            Buffer(input_cap=1.0, intrinsic_delay=-1.0, output_resistance=1.0)
+
+
+class TestHandComputed:
+    def test_unbuffered_single_wire(self):
+        topo, e = chain_with_mid()
+        # Forbid buffers: budget 0.
+        sol = van_ginneken(topo, e, PARAMS, BUF, source_resistance=1.0,
+                           max_buffers=0)
+        # delay = r_src*C + wire Elmore = 10 + (5*(2.5+5) + 5*2.5) = 60.
+        assert sol.max_delay == pytest.approx(60.0)
+        assert sol.num_buffers == 0
+
+    def test_buffer_at_midpoint_found(self):
+        topo, e = chain_with_mid()
+        sol = van_ginneken(topo, e, PARAMS, BUF, source_resistance=1.0)
+        # Hand computation: buffering the Steiner node gives
+        # C_root = 5.2, path = 1 + 0.5 + 12.5 + 5*(2.5+0.2) = 27.5 ->
+        # total = 5.2 + 27.5 = 32.7.
+        assert sol.max_delay == pytest.approx(32.7)
+        assert sol.num_buffers == 1
+        assert 2 in sol.buffered_nodes
+
+    def test_budget_respected(self):
+        topo, e = chain_with_mid()
+        sol = van_ginneken(topo, e, PARAMS, BUF, max_buffers=0)
+        assert sol.num_buffers == 0
+        sol1 = van_ginneken(topo, e, PARAMS, BUF, max_buffers=1)
+        assert sol1.num_buffers <= 1
+        assert sol1.max_delay <= sol.max_delay + 1e-9
+
+
+class TestOptimalityProperties:
+    @given(st.integers(2, 12), st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_buffering_never_hurts(self, m, seed):
+        rng = np.random.default_rng(seed)
+        sinks = [Point(float(x), float(y)) for x, y in rng.integers(0, 30, (m, 2))]
+        topo = nearest_neighbor_topology(sinks, Point(15.0, 15.0))
+        e = np.zeros(topo.num_nodes)
+        for i in range(1, topo.num_nodes):
+            e[i] = rng.uniform(0.5, 5.0)
+        params = ElmoreParameters(
+            wire_resistance=0.5, wire_capacitance=0.5, default_sink_cap=1.0
+        )
+        free = van_ginneken(topo, e, params, BUF)
+        blocked = van_ginneken(topo, e, params, BUF, max_buffers=0)
+        assert free.max_delay <= blocked.max_delay + 1e-9
+
+    @given(st.integers(2, 10), st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_unbuffered_matches_elmore_evaluator(self, m, seed):
+        """With buffers forbidden, the DP's max delay must equal the
+        direct Elmore evaluation plus the driver term."""
+        rng = np.random.default_rng(seed)
+        sinks = [Point(float(x), float(y)) for x, y in rng.integers(0, 30, (m, 2))]
+        topo = nearest_neighbor_topology(sinks, Point(15.0, 15.0))
+        e = np.zeros(topo.num_nodes)
+        for i in range(1, topo.num_nodes):
+            e[i] = rng.uniform(0.5, 5.0)
+        params = ElmoreParameters(
+            wire_resistance=0.5, wire_capacitance=0.5, default_sink_cap=0.7
+        )
+        r_src = 2.0
+        sol = van_ginneken(topo, e, params, BUF, source_resistance=r_src,
+                           max_buffers=0)
+        from repro.delay import downstream_capacitance
+
+        d = sink_delays_elmore(topo, e, params)
+        c_root = downstream_capacitance(topo, e, params)[0]
+        assert sol.max_delay == pytest.approx(
+            r_src * c_root + float(d.max()), rel=1e-9
+        )
+
+    @given(st.integers(1, 6), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_budget_monotone(self, m, seed):
+        rng = np.random.default_rng(seed)
+        sinks = [Point(float(x), float(y)) for x, y in rng.integers(0, 40, (m, 2))]
+        topo = nearest_neighbor_topology(sinks, Point(0.0, 0.0))
+        e = np.zeros(topo.num_nodes)
+        for i in range(1, topo.num_nodes):
+            e[i] = rng.uniform(1.0, 8.0)
+        prev = None
+        for budget in (0, 1, 2, None):
+            sol = van_ginneken(topo, e, PARAMS, BUF, max_buffers=budget)
+            if prev is not None:
+                assert sol.max_delay <= prev + 1e-9
+            prev = sol.max_delay
+
+
+class TestInputValidation:
+    def test_bad_source_resistance(self):
+        topo, e = chain_with_mid()
+        with pytest.raises(ValueError):
+            van_ginneken(topo, e, PARAMS, BUF, source_resistance=0.0)
+
+    def test_shape_mismatch(self):
+        topo, _ = chain_with_mid()
+        with pytest.raises(ValueError):
+            van_ginneken(topo, np.ones(2), PARAMS, BUF)

@@ -1,0 +1,90 @@
+"""Global properties of the LUBT cost as a function of the bounds.
+
+Because EBF is an LP and the bounds enter only through right-hand sides,
+the optimal cost is a **convex** function of the window vector (l, u) —
+the theoretical reason Figure 8's tradeoff curves are convex-shaped —
+and **monotone**: raising l or lowering u never cheapens the tree.
+Property-tested here over random instances and window pairs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebf import DelayBounds, solve_lubt
+from repro.ebf.bounds import radius_of
+from repro.geometry import Point
+from repro.topology import nearest_neighbor_topology
+
+
+def random_topo(m, seed):
+    rng = np.random.default_rng(seed)
+    pts = [Point(float(x), float(y)) for x, y in rng.integers(0, 60, (m, 2))]
+    return nearest_neighbor_topology(pts, Point(30.0, 30.0))
+
+
+def cost(topo, lo, hi):
+    return solve_lubt(
+        topo,
+        DelayBounds.uniform(topo.num_sinks, lo, hi),
+        check_bounds=False,
+    ).cost
+
+
+@st.composite
+def window_pairs(draw):
+    m = draw(st.integers(3, 9))
+    seed = draw(st.integers(0, 400))
+    topo = random_topo(m, seed)
+    r = radius_of(topo)
+    # Two feasible windows (u >= r guarantees feasibility, Lemma 3.1).
+    lo1 = draw(st.floats(0.0, 1.4)) * r
+    hi1 = max(lo1, r, draw(st.floats(1.0, 2.0)) * r)
+    lo2 = draw(st.floats(0.0, 1.4)) * r
+    hi2 = max(lo2, r, draw(st.floats(1.0, 2.0)) * r)
+    alpha = draw(st.floats(0.1, 0.9))
+    return topo, (lo1, hi1), (lo2, hi2), alpha
+
+
+class TestConvexity:
+    @given(window_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_cost_convex_in_window(self, case):
+        topo, (lo1, hi1), (lo2, hi2), a = case
+        c1 = cost(topo, lo1, hi1)
+        c2 = cost(topo, lo2, hi2)
+        mid = cost(
+            topo, a * lo1 + (1 - a) * lo2, a * hi1 + (1 - a) * hi2
+        )
+        assert mid <= a * c1 + (1 - a) * c2 + 1e-6 * max(1.0, c1, c2)
+
+
+class TestMonotonicity:
+    @given(st.integers(3, 9), st.integers(0, 400), st.floats(0.0, 0.4))
+    @settings(max_examples=40, deadline=None)
+    def test_raising_lower_never_cheapens(self, m, seed, bump):
+        topo = random_topo(m, seed)
+        r = radius_of(topo)
+        base = cost(topo, 0.5 * r, 1.5 * r)
+        raised = cost(topo, (0.5 + bump) * r, 1.5 * r)
+        assert raised >= base - 1e-6 * max(1.0, base)
+
+    @given(st.integers(3, 9), st.integers(0, 400), st.floats(0.0, 0.4))
+    @settings(max_examples=40, deadline=None)
+    def test_lowering_upper_never_cheapens(self, m, seed, squeeze):
+        topo = random_topo(m, seed)
+        r = radius_of(topo)
+        base = cost(topo, 0.0, (1.5 + squeeze) * r)
+        tightened = cost(topo, 0.0, 1.5 * r)
+        assert tightened >= base - 1e-6 * max(1.0, base)
+
+    @given(st.integers(3, 8), st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_nested_windows_ordered(self, m, seed):
+        """A window containing another can only be cheaper or equal."""
+        topo = random_topo(m, seed)
+        r = radius_of(topo)
+        inner = cost(topo, 0.9 * r, 1.1 * r)
+        outer = cost(topo, 0.7 * r, 1.3 * r)
+        assert outer <= inner + 1e-6 * max(1.0, inner)

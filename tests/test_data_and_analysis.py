@@ -1,0 +1,171 @@
+"""Tests for benchmark surrogates, metrics, and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Table,
+    measure_baseline,
+    measure_solution,
+    normalize_to_radius,
+    validate_lubt_solution,
+)
+from repro.baselines import bounded_skew_tree
+from repro.data import (
+    BENCHMARKS,
+    benchmark_names,
+    clustered_sinks,
+    grid_sinks,
+    load_benchmark,
+    uniform_sinks,
+)
+from repro.ebf import DelayBounds, solve_lubt
+from repro.ebf.bounds import radius_of
+from repro.geometry import manhattan
+from repro.topology import nearest_neighbor_topology
+
+
+class TestGenerators:
+    def test_uniform_deterministic(self):
+        a = uniform_sinks(20, seed=7)
+        b = uniform_sinks(20, seed=7)
+        assert a == b
+        assert uniform_sinks(20, seed=8) != a
+
+    def test_uniform_within_die(self):
+        pts = uniform_sinks(100, seed=1, width=50, height=30)
+        assert all(0 <= p.x <= 50 and 0 <= p.y <= 30 for p in pts)
+
+    def test_uniform_bad_count(self):
+        with pytest.raises(ValueError):
+            uniform_sinks(0, seed=1)
+
+    def test_clustered_within_die(self):
+        pts = clustered_sinks(200, seed=2, width=100, height=100)
+        assert len(pts) == 200
+        assert all(0 <= p.x <= 100 and 0 <= p.y <= 100 for p in pts)
+
+    def test_clustered_is_clustered(self):
+        """Clustered placements have smaller mean nearest-neighbor
+        distance than uniform ones of the same size/die."""
+        def mean_nn(pts):
+            return np.mean(
+                [
+                    min(manhattan(p, q) for q in pts if q is not p)
+                    for p in pts
+                ]
+            )
+
+        uni = uniform_sinks(150, seed=3, width=1000, height=1000)
+        clu = clustered_sinks(150, seed=3, width=1000, height=1000)
+        assert mean_nn(clu) < mean_nn(uni)
+
+    def test_grid(self):
+        pts = grid_sinks(3, 4, pitch=10)
+        assert len(pts) == 12
+        assert pts[0].x == 0 and pts[-1].x == 30
+
+    def test_grid_jitter_deterministic(self):
+        a = grid_sinks(2, 2, jitter=1.0, seed=5)
+        b = grid_sinks(2, 2, jitter=1.0, seed=5)
+        assert a == b
+
+
+class TestSuites:
+    def test_paper_sink_counts(self):
+        assert load_benchmark("prim1").num_sinks == 269
+        assert load_benchmark("prim2").num_sinks == 603
+        assert load_benchmark("r1").num_sinks == 267
+        assert load_benchmark("r3").num_sinks == 862
+
+    def test_full_tsay_suite_counts(self):
+        assert load_benchmark("r2").num_sinks == 598
+        assert load_benchmark("r4").num_sinks == 1903
+        assert load_benchmark("r5").num_sinks == 3101
+
+    def test_names(self):
+        from repro.data.suites import PAPER_BENCHMARKS
+
+        assert set(PAPER_BENCHMARKS) <= set(benchmark_names())
+        assert set(benchmark_names()) == {
+            "prim1", "prim2", "r1", "r2", "r3", "r4", "r5"
+        }
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            load_benchmark("primary9")
+
+    def test_scaled_view(self):
+        b = load_benchmark("prim1").scaled(32)
+        assert b.num_sinks == 32
+        assert b.sinks == load_benchmark("prim1").sinks[:32]
+        assert b.source == load_benchmark("prim1").source
+        with pytest.raises(ValueError):
+            b.scaled(0)
+
+    def test_deterministic_across_loads(self):
+        assert load_benchmark("r1").sinks == BENCHMARKS["r1"].sinks
+
+
+class TestMetrics:
+    def test_solution_metrics(self):
+        bench = load_benchmark("prim1").scaled(12)
+        topo = nearest_neighbor_topology(list(bench.sinks), bench.source)
+        r = radius_of(topo)
+        sol = solve_lubt(topo, DelayBounds.uniform(12, 0.0, 2 * r))
+        m = measure_solution(sol)
+        assert m.cost == pytest.approx(sol.cost)
+        assert m.radius == pytest.approx(r)
+        assert m.longest_normalized <= 2.0 + 1e-9
+        assert m.skew == pytest.approx(m.longest_delay - m.shortest_delay)
+
+    def test_baseline_metrics(self):
+        bench = load_benchmark("r1").scaled(10)
+        tree = bounded_skew_tree(list(bench.sinks), 0.0, bench.source)
+        m = measure_baseline(tree)
+        assert m.skew == pytest.approx(0.0, abs=1e-9)
+        assert m.cost == pytest.approx(tree.cost)
+
+    def test_normalize(self):
+        bench = load_benchmark("prim2").scaled(8)
+        topo = nearest_neighbor_topology(list(bench.sinks), bench.source)
+        r = radius_of(topo)
+        assert normalize_to_radius(topo, r) == pytest.approx(1.0)
+
+    def test_validate_lubt_solution(self):
+        bench = load_benchmark("r3").scaled(10)
+        topo = nearest_neighbor_topology(list(bench.sinks), bench.source)
+        r = radius_of(topo)
+        sol = solve_lubt(topo, DelayBounds.uniform(10, 0.5 * r, 1.5 * r))
+        validate_lubt_solution(sol)  # should not raise
+
+
+class TestTableRenderer:
+    def test_render_aligned(self):
+        t = Table(["bench", "cost"], title="demo")
+        t.add_row("prim1", 1234.5)
+        t.add_row("r1", 8.25)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "bench" in lines[1] and "cost" in lines[1]
+        assert len({len(line) for line in lines[2:]}) == 1  # aligned
+
+    def test_float_formats(self):
+        t = Table(["v"])
+        t.add_row(float("inf"))
+        t.add_row(float("nan"))
+        t.add_row(0.123456)
+        t.add_row(123456.789)
+        body = t.render()
+        assert "inf" in body and "nan" in body
+        assert "0.123" in body and "123456.8" in body
+
+    def test_row_width_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])

@@ -1,0 +1,131 @@
+"""Tests for the benchmark file-format loaders."""
+
+import pytest
+
+from repro.data import (
+    FormatError,
+    load_csv,
+    load_pin_list,
+    load_sinks_file,
+)
+from repro.geometry import Point
+
+
+class TestPinList:
+    def test_basic(self, tmp_path):
+        f = tmp_path / "net.pins"
+        f.write_text(
+            "# a tiny net\n"
+            "source 10 20\n"
+            "0 0\n"
+            "5 5  # inline comment\n"
+            "p3 9 1\n"
+        )
+        source, sinks, caps = load_pin_list(f)
+        assert source == Point(10, 20)
+        assert sinks == [Point(0, 0), Point(5, 5), Point(9, 1)]
+        assert caps == {}
+
+    def test_with_caps(self, tmp_path):
+        f = tmp_path / "net.pins"
+        f.write_text("1 2 0.5\n3 4 1.5\n")
+        source, sinks, caps = load_pin_list(f)
+        assert source is None
+        assert caps == {1: 0.5, 2: 1.5}
+
+    def test_first_is_source(self, tmp_path):
+        f = tmp_path / "net.pins"
+        f.write_text("100 100\n0 0\n9 9\n")
+        source, sinks, _ = load_pin_list(f, first_is_source=True)
+        assert source == Point(100, 100)
+        assert len(sinks) == 2
+
+    def test_first_is_source_reindexes_caps(self, tmp_path):
+        f = tmp_path / "net.pins"
+        f.write_text("100 100\n0 0 2.0\n9 9 3.0\n")
+        _, sinks, caps = load_pin_list(f, first_is_source=True)
+        assert caps == {1: 2.0, 2: 3.0}
+
+    def test_duplicate_source_rejected(self, tmp_path):
+        f = tmp_path / "bad.pins"
+        f.write_text("source 0 0\nsource 1 1\n2 2\n")
+        with pytest.raises(FormatError, match="duplicate source"):
+            load_pin_list(f)
+
+    def test_garbage_rejected_with_location(self, tmp_path):
+        f = tmp_path / "bad.pins"
+        f.write_text("1 2\nx y z w\n")
+        with pytest.raises(FormatError, match="bad.pins:2"):
+            load_pin_list(f)
+
+    def test_empty_rejected(self, tmp_path):
+        f = tmp_path / "empty.pins"
+        f.write_text("# nothing\n")
+        with pytest.raises(FormatError, match="no pins"):
+            load_pin_list(f)
+
+
+class TestCsv:
+    def test_basic(self, tmp_path):
+        f = tmp_path / "net.csv"
+        f.write_text(
+            "x,y,cap,kind\n"
+            "10,20,,source\n"
+            "0,0,0.4,sink\n"
+            "5,5,,\n"
+        )
+        source, sinks, caps = load_csv(f)
+        assert source == Point(10, 20)
+        assert sinks == [Point(0, 0), Point(5, 5)]
+        assert caps == {1: 0.4}
+
+    def test_minimal_header(self, tmp_path):
+        f = tmp_path / "net.csv"
+        f.write_text("x,y\n1,2\n3,4\n")
+        source, sinks, caps = load_csv(f)
+        assert source is None
+        assert len(sinks) == 2
+
+    def test_missing_columns(self, tmp_path):
+        f = tmp_path / "bad.csv"
+        f.write_text("a,b\n1,2\n")
+        with pytest.raises(FormatError, match="'x,y'"):
+            load_csv(f)
+
+    def test_unknown_kind(self, tmp_path):
+        f = tmp_path / "bad.csv"
+        f.write_text("x,y,kind\n1,2,gate\n")
+        with pytest.raises(FormatError, match="unknown kind"):
+            load_csv(f)
+
+
+class TestAutodetect:
+    def test_csv_extension(self, tmp_path):
+        f = tmp_path / "n.csv"
+        f.write_text("x,y\n1,1\n")
+        _, sinks, _ = load_sinks_file(f)
+        assert sinks == [Point(1, 1)]
+
+    def test_pinlist_extension(self, tmp_path):
+        f = tmp_path / "n.pins"
+        f.write_text("1 1\n")
+        _, sinks, _ = load_sinks_file(f)
+        assert sinks == [Point(1, 1)]
+
+
+class TestEndToEnd:
+    def test_loaded_net_solves(self, tmp_path):
+        """A file round-trips into the normal solve pipeline."""
+        f = tmp_path / "net.pins"
+        f.write_text(
+            "source 50 50\n"
+            + "\n".join(f"{x} {y}" for x, y in [(0, 0), (100, 0), (100, 100), (0, 100)])
+        )
+        from repro import DelayBounds, nearest_neighbor_topology, solve_lubt
+        from repro.ebf.bounds import radius_of
+
+        source, sinks, _ = load_sinks_file(f)
+        topo = nearest_neighbor_topology(sinks, source)
+        r = radius_of(topo)
+        sol = solve_lubt(topo, DelayBounds.uniform(4, 0.0, 1.5 * r))
+        assert sol.cost > 0

@@ -1,0 +1,181 @@
+"""Tests for Steiner constraint generation and violation checking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delay import node_delays_linear
+from repro.ebf import (
+    seed_constraint_pairs,
+    sink_pair_count,
+    steiner_constraint_rows,
+    steiner_violations,
+)
+from repro.ebf.constraints import all_sink_pairs, max_steiner_violation
+from repro.geometry import Point, manhattan
+from repro.topology import Topology, nearest_neighbor_topology
+
+
+@pytest.fixture
+def fig3():
+    parents = [None, 6, 8, 7, 7, 6, 0, 8, 0]
+    sinks = [Point(0, 0), Point(4, 0), Point(8, 2), Point(8, 0), Point(2, 3)]
+    return Topology(parents, 5, sinks)
+
+
+def random_topo(m, seed, fixed=False):
+    rng = np.random.default_rng(seed)
+    pts = [Point(float(x), float(y)) for x, y in rng.integers(0, 100, (m, 2))]
+    src = Point(50.0, 50.0) if fixed else None
+    return nearest_neighbor_topology(pts, src)
+
+
+class TestPairEnumeration:
+    def test_all_pairs_count(self, fig3):
+        pairs = list(all_sink_pairs(fig3))
+        assert len(pairs) == sink_pair_count(fig3) == 10
+
+    def test_all_pairs_unique_and_cross(self, fig3):
+        pairs = list(all_sink_pairs(fig3))
+        normalized = {tuple(sorted(p)) for p in pairs}
+        assert len(normalized) == 10
+
+    @given(st.integers(2, 25), st.integers(0, 999), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_count_formula(self, m, seed, fixed):
+        topo = random_topo(m, seed, fixed)
+        assert len(list(all_sink_pairs(topo))) == m * (m - 1) // 2
+
+    def test_rows_have_correct_paths(self, fig3):
+        rows = {
+            tuple(sorted((i, j))): (sorted(edges), d)
+            for i, j, edges, d in steiner_constraint_rows(fig3)
+        }
+        edges_15, d_15 = rows[(1, 5)]
+        assert edges_15 == [1, 5]
+        assert d_15 == manhattan(Point(0, 0), Point(2, 3))
+        edges_13, _ = rows[(1, 3)]
+        assert edges_13 == [1, 3, 6, 7, 8]
+
+
+class TestInteriorSinkPairs:
+    """Ancestor-descendant sink pairs (Figure 1(a) chains) must be
+    enumerated too — their LCA is the ancestor sink itself."""
+
+    def test_chain_pairs_complete(self):
+        from repro.topology import chain_topology
+
+        topo = chain_topology(
+            [Point(4, 0), Point(0, 4), Point(4, 4)], source=Point(0, 0)
+        )
+        pairs = {tuple(sorted(p)) for p in all_sink_pairs(topo)}
+        assert pairs == {(1, 2), (1, 3), (2, 3)}
+
+    def test_chain_violations_detected(self):
+        from repro.topology import chain_topology
+
+        topo = chain_topology([Point(4, 0), Point(0, 4)], source=Point(0, 0))
+        e = np.array([0.0, 4.0, 1.0])  # path(s1,s2) = e2 = 1 < dist = 8
+        v = steiner_violations(topo, e)
+        assert any({i, j} == {1, 2} for i, j, _ in v)
+
+    def test_chain_row_path(self):
+        from repro.topology import chain_topology
+
+        topo = chain_topology([Point(4, 0), Point(0, 4)], source=Point(0, 0))
+        rows = {
+            tuple(sorted((i, j))): (sorted(edges), d)
+            for i, j, edges, d in steiner_constraint_rows(topo)
+        }
+        edges, d = rows[(1, 2)]
+        assert edges == [2]  # only the descendant's edge
+        assert d == 8.0
+
+
+class TestSeeds:
+    def test_one_seed_per_branching_site(self, fig3):
+        seeds = seed_constraint_pairs(fig3)
+        # fig3 has 3 branching nodes (0, 6 is not branching... 6 has
+        # children 1,5; 7 has 3,4; 8 has 2,7; 0 has 6,8) -> 4 sites.
+        assert len(seeds) == 4
+
+    def test_seed_is_farthest_cross_pair(self, fig3):
+        seeds = {tuple(sorted(p)) for p in seed_constraint_pairs(fig3)}
+        # At LCA 0 the cross pairs are {1,5} x {2,3,4}; the farthest is
+        # (1,3): dist((0,0),(8,2)) = 10.
+        assert (1, 3) in seeds
+
+    @given(st.integers(2, 20), st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_seeds_are_valid_pairs(self, m, seed):
+        topo = random_topo(m, seed)
+        valid = {tuple(sorted(p)) for p in all_sink_pairs(topo)}
+        for i, j in seed_constraint_pairs(topo):
+            assert tuple(sorted((i, j))) in valid
+
+    @given(st.integers(2, 20), st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_seed_dominates_its_group(self, m, seed):
+        """Seed pair distance >= any other cross distance at the same LCA
+        (checked globally: max seed dist == max pair dist)."""
+        topo = random_topo(m, seed)
+        seeds = seed_constraint_pairs(topo)
+        all_d = [
+            manhattan(topo.sink_location(i), topo.sink_location(j))
+            for i, j in all_sink_pairs(topo)
+        ]
+        seed_d = [
+            manhattan(topo.sink_location(i), topo.sink_location(j))
+            for i, j in seeds
+        ]
+        assert max(seed_d) == pytest.approx(max(all_d))
+
+
+class TestViolations:
+    def test_zero_lengths_violate(self, fig3):
+        e = np.zeros(fig3.num_nodes)
+        v = steiner_violations(fig3, e)
+        assert len(v) == 10  # every pair with distinct locations violated
+        # Sorted by decreasing violation.
+        amounts = [a for _, _, a in v]
+        assert amounts == sorted(amounts, reverse=True)
+
+    def test_limit(self, fig3):
+        e = np.zeros(fig3.num_nodes)
+        v = steiner_violations(fig3, e, limit=3)
+        assert len(v) == 3
+
+    def test_violation_amounts_match_bruteforce(self, fig3):
+        rng = np.random.default_rng(7)
+        e = rng.uniform(0, 2, fig3.num_nodes)
+        e[0] = 0
+        got = {
+            tuple(sorted((i, j))): a for i, j, a in steiner_violations(fig3, e, tol=-np.inf)
+        }
+        d = node_delays_linear(fig3, e)
+        for i, j, edges, dist in steiner_constraint_rows(fig3):
+            expect = dist - float(e[edges].sum())
+            assert got[tuple(sorted((i, j)))] == pytest.approx(expect)
+
+    def test_satisfied_lengths_no_violations(self, fig3):
+        # Give every edge a huge length: all constraints hold.
+        e = np.full(fig3.num_nodes, 100.0)
+        e[0] = 0
+        assert steiner_violations(fig3, e) == []
+        assert max_steiner_violation(fig3, e) <= 0
+
+    def test_single_sink_no_violations(self):
+        topo = nearest_neighbor_topology([Point(3, 3)], source=Point(0, 0))
+        assert steiner_violations(topo, np.zeros(2)) == []
+        assert max_steiner_violation(topo, np.zeros(2)) == 0.0
+
+    @given(st.integers(2, 15), st.integers(0, 999))
+    @settings(max_examples=30, deadline=None)
+    def test_max_violation_consistency(self, m, seed):
+        topo = random_topo(m, seed)
+        rng = np.random.default_rng(seed + 1)
+        e = rng.uniform(0, 30, topo.num_nodes)
+        e[0] = 0
+        v = steiner_violations(topo, e, tol=-np.inf)
+        assert max_steiner_violation(topo, e) == pytest.approx(v[0][2])

@@ -1,0 +1,180 @@
+"""Tests for the Elmore-delay EBF extension (Section 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delay import ElmoreParameters, sink_delays_elmore
+from repro.ebf import DelayBounds, solve_lubt, solve_lubt_elmore
+from repro.ebf.constraints import max_steiner_violation
+from repro.ebf.elmore import elmore_delay_jacobian
+from repro.geometry import Point
+from repro.lp import InfeasibleError
+from repro.topology import nearest_neighbor_topology
+
+
+def random_topo(m, seed, fixed=False):
+    rng = np.random.default_rng(seed)
+    pts = [Point(float(x), float(y)) for x, y in rng.integers(0, 20, (m, 2))]
+    src = Point(10.0, 10.0) if fixed else None
+    return nearest_neighbor_topology(pts, src)
+
+
+PARAMS = ElmoreParameters(
+    wire_resistance=0.1, wire_capacitance=0.2, default_sink_cap=1.0
+)
+
+
+class TestJacobian:
+    @given(st.integers(2, 8), st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_finite_differences(self, m, seed):
+        topo = random_topo(m, seed)
+        rng = np.random.default_rng(seed + 1)
+        e = rng.uniform(0.5, 3.0, topo.num_nodes)
+        e[0] = 0.0
+        jac = elmore_delay_jacobian(topo, e, PARAMS)
+        h = 1e-6
+        for t in range(1, topo.num_nodes):
+            ep = e.copy()
+            ep[t] += h
+            em = e.copy()
+            em[t] -= h
+            fd = (
+                sink_delays_elmore(topo, ep, PARAMS)
+                - sink_delays_elmore(topo, em, PARAMS)
+            ) / (2 * h)
+            assert jac[:, t - 1] == pytest.approx(fd, rel=1e-4, abs=1e-6)
+
+    def test_jacobian_nonnegative(self):
+        """Elmore delay is monotone in every edge length."""
+        topo = random_topo(6, 42)
+        e = np.full(topo.num_nodes, 2.0)
+        e[0] = 0.0
+        jac = elmore_delay_jacobian(topo, e, PARAMS)
+        assert np.all(jac >= -1e-12)
+
+
+class TestUpperBoundedConvexCase:
+    """l = 0: the formulation is convex, SLSQP finds the global optimum."""
+
+    def test_small_net_within_bounds(self):
+        topo = random_topo(5, 7, fixed=True)
+        # Find a loose upper bound from the relaxed (Steiner-only) tree.
+        relaxed = solve_lubt(topo, DelayBounds.unbounded(5))
+        d_relaxed = sink_delays_elmore(topo, relaxed.edge_lengths, PARAMS)
+        u = float(d_relaxed.max()) * 1.2
+        sol = solve_lubt_elmore(
+            topo, DelayBounds.uniform(5, 0.0, u), PARAMS
+        )
+        assert np.all(sol.delays <= u + 1e-6)
+        assert max_steiner_violation(topo, sol.edge_lengths) <= 1e-5
+
+    def test_tightening_u_increases_cost(self):
+        topo = random_topo(6, 11, fixed=True)
+        relaxed = solve_lubt(topo, DelayBounds.unbounded(6))
+        d0 = sink_delays_elmore(topo, relaxed.edge_lengths, PARAMS)
+        u_loose = float(d0.max()) * 1.5
+        u_tight = float(d0.max()) * 1.01
+        loose = solve_lubt_elmore(
+            topo, DelayBounds.uniform(6, 0.0, u_loose), PARAMS
+        )
+        tight = solve_lubt_elmore(
+            topo, DelayBounds.uniform(6, 0.0, u_tight), PARAMS
+        )
+        assert tight.cost >= loose.cost - 1e-6
+
+    def test_impossible_upper_bound_raises(self):
+        topo = random_topo(4, 3, fixed=True)
+        with pytest.raises(InfeasibleError):
+            solve_lubt_elmore(
+                topo, DelayBounds.uniform(4, 0.0, 1e-9), PARAMS,
+            )
+
+
+class TestBoundedWindows:
+    """l > 0: non-convex; solved heuristically (paper Section 7)."""
+
+    def test_window_respected(self):
+        topo = random_topo(4, 19, fixed=True)
+        relaxed = solve_lubt(topo, DelayBounds.unbounded(4))
+        d0 = sink_delays_elmore(topo, relaxed.edge_lengths, PARAMS)
+        lo = float(d0.max()) * 1.05
+        hi = float(d0.max()) * 2.0
+        sol = solve_lubt_elmore(
+            topo, DelayBounds.uniform(4, lo, hi), PARAMS
+        )
+        assert np.all(sol.delays >= lo - 1e-5)
+        assert np.all(sol.delays <= hi + 1e-5)
+
+    def test_skew_property(self):
+        sol_topo = random_topo(5, 23, fixed=True)
+        relaxed = solve_lubt(sol_topo, DelayBounds.unbounded(5))
+        d0 = sink_delays_elmore(sol_topo, relaxed.edge_lengths, PARAMS)
+        lo, hi = float(d0.max()) * 1.02, float(d0.max()) * 1.6
+        sol = solve_lubt_elmore(
+            sol_topo, DelayBounds.uniform(5, lo, hi), PARAMS
+        )
+        assert sol.skew <= (hi - lo) + 1e-5
+
+    def test_warm_start_accepted(self):
+        topo = random_topo(3, 31, fixed=True)
+        relaxed = solve_lubt(topo, DelayBounds.unbounded(3))
+        d0 = sink_delays_elmore(topo, relaxed.edge_lengths, PARAMS)
+        u = float(d0.max()) * 1.5
+        x0 = relaxed.edge_lengths * 1.1
+        sol = solve_lubt_elmore(
+            topo, DelayBounds.uniform(3, 0.0, u), PARAMS, x0=x0
+        )
+        assert sol.cost > 0
+
+    def test_zero_edges_pinned(self):
+        topo = random_topo(4, 37, fixed=True)
+        relaxed = solve_lubt(topo, DelayBounds.unbounded(4))
+        d0 = sink_delays_elmore(topo, relaxed.edge_lengths, PARAMS)
+        u = float(d0.max()) * 2.0
+        steiner_edge = next(iter(topo.steiner_ids()))
+        # Pinning a random Steiner tie edge must keep it at zero.
+        sol = solve_lubt_elmore(
+            topo,
+            DelayBounds.uniform(4, 0.0, u),
+            PARAMS,
+            zero_edges=(steiner_edge,),
+        )
+        assert sol.edge_lengths[steiner_edge] == pytest.approx(0.0, abs=1e-9)
+
+    def test_mismatched_bounds_raise(self):
+        topo = random_topo(4, 41)
+        with pytest.raises(ValueError):
+            solve_lubt_elmore(topo, DelayBounds.uniform(3, 0, 1), PARAMS)
+
+
+class TestSolverMethods:
+    def test_unknown_method_rejected(self):
+        topo = random_topo(3, 5)
+        with pytest.raises(ValueError, match="method"):
+            solve_lubt_elmore(
+                topo, DelayBounds.unbounded(3), PARAMS, method="ipopt"
+            )
+
+    def test_trust_constr_agrees_with_slsqp_convex(self):
+        """The convex case has one global optimum; both methods find it."""
+        topo = random_topo(5, 47, fixed=True)
+        relaxed = solve_lubt(topo, DelayBounds.unbounded(5))
+        d0 = sink_delays_elmore(topo, relaxed.edge_lengths, PARAMS)
+        bounds = DelayBounds.uniform(5, 0.0, float(d0.max()) * 1.1)
+        a = solve_lubt_elmore(topo, bounds, PARAMS, method="slsqp")
+        b = solve_lubt_elmore(topo, bounds, PARAMS, method="trust-constr")
+        assert a.cost == pytest.approx(b.cost, rel=1e-3)
+
+    def test_trust_constr_bounded_window(self):
+        topo = random_topo(4, 53, fixed=True)
+        relaxed = solve_lubt(topo, DelayBounds.unbounded(4))
+        d0 = sink_delays_elmore(topo, relaxed.edge_lengths, PARAMS)
+        lo, hi = float(d0.max()) * 1.05, float(d0.max()) * 1.8
+        sol = solve_lubt_elmore(
+            topo, DelayBounds.uniform(4, lo, hi), PARAMS, method="trust-constr"
+        )
+        assert np.all(sol.delays >= lo - 1e-5)
+        assert np.all(sol.delays <= hi + 1e-5)

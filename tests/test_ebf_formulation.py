@@ -1,0 +1,112 @@
+"""Direct tests of the EBF LP assembly (Section 4.3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ebf import DelayBounds, build_ebf_lp
+from repro.ebf.formulation import edge_var, expand_edge_vector
+from repro.geometry import Point, manhattan
+from repro.lp import Sense, solve_lp
+from repro.topology import Topology, nearest_neighbor_topology
+
+
+@pytest.fixture
+def fig3():
+    parents = [None, 6, 8, 7, 7, 6, 0, 8, 0]
+    sinks = [Point(0, 0), Point(4, 0), Point(8, 2), Point(8, 0), Point(2, 3)]
+    return Topology(parents, 5, sinks)
+
+
+class TestEdgeVar:
+    def test_mapping(self):
+        assert edge_var(1) == 0
+        assert edge_var(8) == 7
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            edge_var(0)
+
+
+class TestExpandEdgeVector:
+    def test_shape_and_clamping(self, fig3):
+        x = np.array([1.0, -1e-12, 2.0, 0.0, 0.5, 3.0, 0.0, 1.5])
+        e = expand_edge_vector(fig3, x)
+        assert e.shape == (9,)
+        assert e[0] == 0.0
+        assert e[1] == 1.0
+        assert e[2] == 0.0  # tiny negative LP noise clamped
+
+
+class TestDelayRows:
+    def test_range_rows_per_sink(self, fig3):
+        lp = build_ebf_lp(fig3, DelayBounds.uniform(5, 4.0, 6.0), pairs=[])
+        assert lp.num_constraints == 10  # 2 per sink, no Steiner rows
+        names = {lp.row_name(i) for i in range(10)}
+        assert "delay1.lo" in names and "delay5.hi" in names
+
+    def test_infinite_upper_drops_hi_row(self, fig3):
+        lp = build_ebf_lp(fig3, DelayBounds.unbounded(5), pairs=[])
+        senses = [lp.row_sense(i) for i in range(lp.num_constraints)]
+        assert all(s is Sense.GE for s in senses)
+
+    def test_equality_row_for_zero_skew(self, fig3):
+        lp = build_ebf_lp(fig3, DelayBounds.zero_skew(5, 7.0), pairs=[])
+        assert lp.num_constraints == 5
+        assert all(
+            lp.row_sense(i) is Sense.EQ for i in range(lp.num_constraints)
+        )
+
+    def test_fixed_source_strengthening(self):
+        """With a fixed source, each sink's lower bound is raised to its
+        geometric distance from the source."""
+        src = Point(0.0, 0.0)
+        sinks = [Point(3.0, 4.0), Point(10.0, 0.0)]
+        topo = nearest_neighbor_topology(sinks, src)
+        lp = build_ebf_lp(topo, DelayBounds.uniform(2, 0.0, 50.0), pairs=[])
+        # Find delay1.lo and delay2.lo rhs values.
+        rhs = {}
+        for i in range(lp.num_constraints):
+            name = lp.row_name(i)
+            if name.endswith(".lo"):
+                _, _, r = lp.row(i)
+                rhs[name] = r
+        assert rhs["delay1.lo"] == pytest.approx(manhattan(src, sinks[0]))
+        assert rhs["delay2.lo"] == pytest.approx(manhattan(src, sinks[1]))
+
+    def test_impossible_window_yields_infeasible_row(self):
+        """u below the geometric distance must make the LP infeasible,
+        not silently wrong (the `.impossible` guard row)."""
+        src = Point(0.0, 0.0)
+        topo = nearest_neighbor_topology([Point(10.0, 0.0)], src)
+        lp = build_ebf_lp(topo, DelayBounds.uniform(1, 0.0, 5.0), pairs=[])
+        res = solve_lp(lp, "scipy")
+        assert not res.is_optimal
+
+
+class TestObjective:
+    def test_unit_costs_by_default(self, fig3):
+        lp = build_ebf_lp(fig3, DelayBounds.uniform(5, 4, 6))
+        assert np.all(lp.costs == 1.0)
+
+    def test_weighted_costs(self, fig3):
+        w = np.arange(9, dtype=float)
+        lp = build_ebf_lp(fig3, DelayBounds.uniform(5, 4, 6), weights=w)
+        assert lp.costs[edge_var(3)] == 3.0
+
+    def test_weight_length_checked(self, fig3):
+        with pytest.raises(ValueError):
+            build_ebf_lp(
+                fig3, DelayBounds.uniform(5, 4, 6), weights=np.ones(4)
+            )
+
+    def test_negative_weight_rejected(self, fig3):
+        w = np.ones(9)
+        w[2] = -0.5
+        with pytest.raises(ValueError):
+            build_ebf_lp(fig3, DelayBounds.uniform(5, 4, 6), weights=w)
+
+    def test_bounds_count_checked(self, fig3):
+        with pytest.raises(ValueError):
+            build_ebf_lp(fig3, DelayBounds.uniform(4, 4, 6))

@@ -1,0 +1,152 @@
+"""Tests for the zero-skew special case (Section 4.6).
+
+The key claim: the n-equation bottom-up solution equals the EBF LP optimum
+with l = u, i.e. "no optimization is necessary" for zero skew.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delay import sink_delays_linear
+from repro.ebf import DelayBounds, solve_lubt, solve_zero_skew
+from repro.geometry import Point, manhattan
+from repro.lp import InfeasibleError
+from repro.topology import chain_topology, nearest_neighbor_topology
+
+
+def random_topo(m, seed, fixed=False):
+    rng = np.random.default_rng(seed)
+    pts = [Point(float(x), float(y)) for x, y in rng.integers(0, 60, (m, 2))]
+    src = Point(30.0, 30.0) if fixed else None
+    return nearest_neighbor_topology(pts, src)
+
+
+class TestBasics:
+    def test_two_sinks_free_source(self):
+        topo = nearest_neighbor_topology([Point(0, 0), Point(10, 0)])
+        sol = solve_zero_skew(topo)
+        assert sol.delay == pytest.approx(5.0)
+        assert sol.cost == pytest.approx(10.0)
+        d = sink_delays_linear(topo, sol.edge_lengths)
+        assert d == pytest.approx([5.0, 5.0])
+
+    def test_two_sinks_fixed_source(self):
+        topo = nearest_neighbor_topology(
+            [Point(0, 0), Point(10, 0)], source=Point(5, 5)
+        )
+        sol = solve_zero_skew(topo)
+        # Merge segment of the two sinks passes through (5,0); source 5
+        # away.  t* = 5 + 5, cost = 10 (split) + 5 (stem).
+        assert sol.delay == pytest.approx(10.0)
+        assert sol.cost == pytest.approx(15.0)
+
+    def test_single_sink(self):
+        topo = nearest_neighbor_topology([Point(3, 4)], source=Point(0, 0))
+        sol = solve_zero_skew(topo)
+        assert sol.delay == pytest.approx(7.0)
+        assert sol.cost == pytest.approx(7.0)
+
+    def test_interior_sink_rejected(self):
+        topo = chain_topology([Point(1, 0), Point(2, 0)], source=Point(0, 0))
+        with pytest.raises(InfeasibleError):
+            solve_zero_skew(topo)
+
+    def test_skew_is_exactly_zero(self):
+        topo = random_topo(17, 3)
+        sol = solve_zero_skew(topo)
+        d = sink_delays_linear(topo, sol.edge_lengths)
+        assert float(d.max() - d.min()) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTargetDelay:
+    def test_target_below_tstar_infeasible(self):
+        topo = nearest_neighbor_topology([Point(0, 0), Point(10, 0)])
+        with pytest.raises(InfeasibleError):
+            solve_zero_skew(topo, target_delay=4.0)
+
+    def test_target_above_tstar_free_source_costs_double(self):
+        """Free source: both root child edges elongate -> +2 per unit."""
+        topo = nearest_neighbor_topology([Point(0, 0), Point(10, 0)])
+        base = solve_zero_skew(topo)
+        longer = solve_zero_skew(topo, target_delay=base.delay + 3.0)
+        assert longer.delay == pytest.approx(base.delay + 3.0)
+        assert longer.cost == pytest.approx(base.cost + 6.0)
+
+    def test_target_above_tstar_fixed_source_costs_single(self):
+        topo = nearest_neighbor_topology(
+            [Point(0, 0), Point(10, 0)], source=Point(5, 5)
+        )
+        base = solve_zero_skew(topo)
+        longer = solve_zero_skew(topo, target_delay=base.delay + 3.0)
+        assert longer.cost == pytest.approx(base.cost + 3.0)
+
+    def test_target_keeps_zero_skew(self):
+        topo = random_topo(9, 8, fixed=True)
+        base = solve_zero_skew(topo)
+        sol = solve_zero_skew(topo, target_delay=base.delay * 1.5)
+        d = sink_delays_linear(topo, sol.edge_lengths)
+        assert float(d.max() - d.min()) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestAgainstLP:
+    """The paper's reduction claim: closed form == LP optimum."""
+
+    @given(st.integers(2, 12), st.integers(0, 400), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_closed_form_matches_lp(self, m, seed, fixed):
+        topo = random_topo(m, seed, fixed)
+        dme = solve_zero_skew(topo)
+        lp = solve_lubt(
+            topo,
+            DelayBounds.zero_skew(m, dme.delay),
+            check_bounds=False,
+        )
+        assert lp.cost == pytest.approx(dme.cost, rel=1e-6, abs=1e-6)
+
+    @given(st.integers(2, 10), st.integers(0, 400))
+    @settings(max_examples=25, deadline=None)
+    def test_lp_infeasible_below_tstar(self, m, seed):
+        topo = random_topo(m, seed)
+        dme = solve_zero_skew(topo)
+        if dme.delay < 1e-6:
+            return  # all sinks coincide; any delay works
+        with pytest.raises(InfeasibleError):
+            solve_lubt(
+                topo,
+                DelayBounds.zero_skew(m, dme.delay * 0.9),
+                check_bounds=False,
+            )
+
+    @given(st.integers(2, 10), st.integers(0, 400), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_elongated_target_matches_lp(self, m, seed, fixed):
+        topo = random_topo(m, seed, fixed)
+        dme = solve_zero_skew(topo)
+        target = dme.delay * 1.3 + 1.0
+        closed = solve_zero_skew(topo, target_delay=target)
+        lp = solve_lubt(
+            topo, DelayBounds.zero_skew(m, target), check_bounds=False
+        )
+        assert lp.cost == pytest.approx(closed.cost, rel=1e-6, abs=1e-6)
+
+
+class TestMergeGeometry:
+    def test_detour_case(self):
+        """Unbalanced children force wire elongation, not negative edges."""
+        # Three sinks: two coincident far pair, one near.  The topology
+        # ((a,b),c) with a,b distant creates h imbalance at the top merge.
+        a, b, c = Point(0, 0), Point(20, 0), Point(1, 0)
+        topo = nearest_neighbor_topology([a, c, b])
+        sol = solve_zero_skew(topo)
+        assert np.all(sol.edge_lengths >= -1e-12)
+        d = sink_delays_linear(topo, sol.edge_lengths)
+        assert float(d.max() - d.min()) == pytest.approx(0.0, abs=1e-9)
+
+    def test_merging_regions_recorded(self):
+        topo = random_topo(5, 2)
+        sol = solve_zero_skew(topo)
+        assert 0 in sol.merging_regions
+        for i in topo.sink_ids():
+            assert sol.merging_regions[i].is_point()

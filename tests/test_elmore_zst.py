@@ -1,0 +1,170 @@
+"""Tests for the exact zero-skew Elmore tree (Tsay [4])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import elmore_zero_skew_tree, zero_skew_tree
+from repro.baselines.elmore_zst import _balance, _elongated_length
+from repro.delay import ElmoreParameters, sink_delays_elmore
+from repro.ebf import DelayBounds, solve_lubt_elmore
+from repro.embedding import embed_tree
+from repro.geometry import Point
+from repro.lp import InfeasibleError
+from repro.topology import chain_topology, nearest_neighbor_topology
+
+PARAMS = ElmoreParameters(
+    wire_resistance=0.2, wire_capacitance=0.1, default_sink_cap=1.0
+)
+
+
+def random_sinks(m, seed, span=40):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.integers(0, span, (m, 2))]
+
+
+class TestBalanceFormula:
+    def test_symmetric_merge(self):
+        """Equal delays and caps: the split is the midpoint."""
+        l_a, l_b = _balance(0.0, 1.0, 0.0, 1.0, 10.0, 0.2, 0.1)
+        assert l_a == pytest.approx(5.0)
+        assert l_b == pytest.approx(5.0)
+
+    def test_heavier_cap_gets_less_wire(self):
+        """A heavier downstream load slows its own wire more, so the tap
+        shifts toward the heavy side (less wire on it)."""
+        l_a, l_b = _balance(0.0, 5.0, 0.0, 1.0, 10.0, 0.2, 0.1)
+        assert l_a + l_b == pytest.approx(10.0)
+        assert l_a < l_b
+
+    def test_balances_delays_exactly(self):
+        rw, cw = 0.2, 0.1
+        t_a, c_a, t_b, c_b, d = 3.0, 2.0, 1.0, 0.5, 8.0
+        l_a, l_b = _balance(t_a, c_a, t_b, c_b, d, rw, cw)
+        da = t_a + rw * l_a * (cw * l_a / 2 + c_a)
+        db = t_b + rw * l_b * (cw * l_b / 2 + c_b)
+        assert da == pytest.approx(db)
+
+    def test_elongation_case(self):
+        """Large delay mismatch: faster side elongates past the span."""
+        rw, cw = 0.2, 0.1
+        l_a, l_b = _balance(100.0, 1.0, 0.0, 1.0, 2.0, rw, cw)
+        assert l_a == 0.0
+        assert l_b > 2.0
+        db = rw * l_b * (cw * l_b / 2 + 1.0)
+        assert db == pytest.approx(100.0)
+
+    def test_elongated_length_roots(self):
+        rw, cw, c = 0.2, 0.1, 1.5
+        for dt in (0.5, 3.0, 50.0):
+            ell = _elongated_length(dt, c, rw, cw)
+            assert rw * ell * (cw * ell / 2 + c) == pytest.approx(dt)
+        assert _elongated_length(0.0, c, rw, cw) == 0.0
+
+    def test_zero_wire_cap_linearizes(self):
+        ell = _elongated_length(4.0, 2.0, 0.5, 0.0)
+        assert 0.5 * ell * 2.0 == pytest.approx(4.0)
+
+
+class TestElmoreZst:
+    @given(st.integers(1, 14), st.integers(0, 500), st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_zero_skew_property(self, m, seed, fixed):
+        sinks = random_sinks(m, seed)
+        src = Point(20.0, 20.0) if fixed else None
+        tree = elmore_zero_skew_tree(sinks, PARAMS, src)
+        assert tree.skew == pytest.approx(0.0, abs=1e-6 * max(1.0, tree.longest_delay))
+        assert np.all(tree.edge_lengths >= -1e-9)
+
+    @given(st.integers(2, 12), st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_embeddable(self, m, seed):
+        sinks = random_sinks(m, seed)
+        tree = elmore_zero_skew_tree(sinks, PARAMS, Point(20, 20))
+        embedded = embed_tree(tree.topology, tree.edge_lengths)
+        assert embedded.cost == pytest.approx(tree.cost)
+
+    def test_uneven_loads_break_linear_zst(self):
+        """A linear-delay ZST evaluated under Elmore has skew; the
+        Elmore-exact construction does not."""
+        sinks = random_sinks(10, 42)
+        src = Point(20.0, 20.0)
+        params = ElmoreParameters(
+            wire_resistance=0.2,
+            wire_capacitance=0.1,
+            sink_caps={i: (5.0 if i % 3 == 0 else 0.2) for i in range(1, 11)},
+        )
+        linear = zero_skew_tree(sinks, src)
+        d_linear = sink_delays_elmore(linear.topology, linear.edge_lengths, params)
+        elmore = elmore_zero_skew_tree(sinks, params, src)
+        assert float(d_linear.max() - d_linear.min()) > 100 * elmore.skew
+
+    def test_interior_sink_rejected(self):
+        topo = chain_topology([Point(1, 0), Point(2, 0)], Point(0, 0))
+        with pytest.raises(InfeasibleError):
+            elmore_zero_skew_tree(
+                [Point(1, 0), Point(2, 0)], PARAMS, Point(0, 0), topology=topo
+            )
+
+    def test_topology_mismatch_rejected(self):
+        topo = nearest_neighbor_topology([Point(0, 0), Point(5, 5)])
+        with pytest.raises(ValueError):
+            elmore_zero_skew_tree([Point(0, 0)], PARAMS, topology=topo)
+
+    def test_single_sink_fixed_source(self):
+        tree = elmore_zero_skew_tree([Point(3, 4)], PARAMS, Point(0, 0))
+        assert tree.cost == pytest.approx(7.0)
+
+    def test_coincident_sinks_merge_cleanly(self):
+        """Coincident sinks both see delay 0 from the tap, so the merge
+        needs no wire at all, whatever their loads."""
+        params = ElmoreParameters(
+            wire_resistance=0.2, wire_capacitance=0.1,
+            sink_caps={1: 10.0, 2: 0.1},
+        )
+        tree = elmore_zero_skew_tree(
+            [Point(5, 5), Point(5, 5)], params, Point(0, 0)
+        )
+        assert tree.skew == pytest.approx(0.0, abs=1e-9)
+        assert tree.edge_lengths[1] == 0.0
+        assert tree.edge_lengths[2] == 0.0
+
+    def test_unequal_subtree_caps_shift_the_stem_tap(self):
+        """A heavy pair and a light pair at symmetric positions: the
+        top merge must put LESS wire on the heavy (slower-per-unit)
+        side for exact zero Elmore skew."""
+        params = ElmoreParameters(
+            wire_resistance=0.2, wire_capacitance=0.1,
+            sink_caps={1: 8.0, 2: 8.0, 3: 0.1, 4: 0.1},
+        )
+        sinks = [Point(0, 0), Point(0, 2), Point(20, 0), Point(20, 2)]
+        tree = elmore_zero_skew_tree(sinks, params, Point(10, 1))
+        assert tree.skew == pytest.approx(
+            0.0, abs=1e-9 * max(1.0, tree.longest_delay)
+        )
+        # Heavy pair under one child of the top merge, light under the
+        # other; the wire toward the heavy side must be shorter.
+        topo = tree.topology
+        top = topo.children(0)[0]
+        a, b = topo.children(top)
+        heavy = a if 1 in topo.subtree_sinks(a) else b
+        light = b if heavy == a else a
+        assert tree.edge_lengths[heavy] < tree.edge_lengths[light]
+
+
+class TestAgainstElmoreEbf:
+    def test_ebf_matches_zst_cost_on_same_topology(self):
+        """Elmore-EBF with l = u = t* should cost no more than the DME
+        construction (EBF optimizes; DME is greedy-but-balanced)."""
+        sinks = random_sinks(6, 9, span=20)
+        src = Point(10.0, 10.0)
+        zst = elmore_zero_skew_tree(sinks, PARAMS, src)
+        target = zst.longest_delay
+        sol = solve_lubt_elmore(
+            zst.topology,
+            DelayBounds.uniform(6, target * 0.999, target * 1.001),
+            PARAMS,
+            x0=zst.edge_lengths,
+        )
+        assert sol.cost <= zst.cost * 1.01

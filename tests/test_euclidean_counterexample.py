@@ -1,0 +1,108 @@
+"""Section 4.7 / Figure 4: EBF is NOT valid in the Euclidean metric.
+
+Three sinks at the corners of a unit equilateral triangle.  The Steiner
+constraints e_i + e_j >= 1 admit e_1 = e_2 = e_3 = 1/2, yet no Euclidean
+point is within distance 1/2 of all three sinks: three disks of radius 1/2
+intersect pairwise but have no common point (Helly fails for disks,
+footnote 3).  The same configuration in the Manhattan metric *does* have a
+common point, which is exactly why EBF works there.
+"""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    Disk,
+    Point,
+    TRR,
+    disks_have_common_point,
+    euclidean,
+    helly_intersection,
+    pairwise_disks_intersect,
+)
+
+
+@pytest.fixture
+def triangle():
+    return [
+        Point(0.0, 0.0),
+        Point(1.0, 0.0),
+        Point(0.5, math.sqrt(3.0) / 2.0),
+    ]
+
+
+class TestFigure4:
+    def test_triangle_is_unit_equilateral(self, triangle):
+        a, b, c = triangle
+        assert euclidean(a, b) == pytest.approx(1.0)
+        assert euclidean(b, c) == pytest.approx(1.0)
+        assert euclidean(a, c) == pytest.approx(1.0)
+
+    def test_half_edge_lengths_satisfy_steiner_constraints(self, triangle):
+        e = [0.5, 0.5, 0.5]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert e[i] + e[j] >= euclidean(triangle[i], triangle[j]) - 1e-12
+
+    def test_disks_intersect_pairwise_but_share_no_point(self, triangle):
+        disks = [Disk(p, 0.5) for p in triangle]
+        assert pairwise_disks_intersect(disks)
+        assert not disks_have_common_point(disks)
+
+    def test_circumradius_exceeds_half(self, triangle):
+        """The root would have to be the circumcenter at distance
+        1/sqrt(3) ~ 0.577 > 1/2 from each sink."""
+        cx, cy = 0.5, math.sqrt(3.0) / 6.0
+        for p in triangle:
+            assert euclidean(Point(cx, cy), p) == pytest.approx(
+                1.0 / math.sqrt(3.0)
+            )
+        assert 1.0 / math.sqrt(3.0) > 0.5
+
+    def test_manhattan_balls_do_share_a_point(self, triangle):
+        """Contrast: in L1 the same radii leave a feasible root location
+        whenever the pairwise constraints hold with L1 distances."""
+        # Use L1 distances; scale radii to half the max pairwise L1 distance.
+        from repro.geometry import manhattan
+
+        r = max(
+            manhattan(a, b)
+            for a in triangle
+            for b in triangle
+        ) / 2.0
+        balls = [TRR.square(p, r) for p in triangle]
+        assert not helly_intersection(balls).is_empty()
+
+
+class TestDiskPrimitives:
+    def test_disk_negative_radius(self):
+        with pytest.raises(ValueError):
+            Disk(Point(0, 0), -1.0)
+
+    def test_common_point_two_disks(self):
+        a = Disk(Point(0, 0), 1.0)
+        b = Disk(Point(1.5, 0), 1.0)
+        assert disks_have_common_point([a, b])
+
+    def test_no_common_point_two_far_disks(self):
+        a = Disk(Point(0, 0), 1.0)
+        b = Disk(Point(5, 0), 1.0)
+        assert not disks_have_common_point([a, b])
+
+    def test_single_disk(self):
+        assert disks_have_common_point([Disk(Point(0, 0), 0.0)])
+
+    def test_no_disks_raises(self):
+        with pytest.raises(ValueError):
+            disks_have_common_point([])
+
+    def test_nested_disks(self):
+        a = Disk(Point(0, 0), 5.0)
+        b = Disk(Point(1, 0), 1.0)
+        assert disks_have_common_point([a, b])
+
+    def test_concentric_disks(self):
+        a = Disk(Point(0, 0), 2.0)
+        b = Disk(Point(0, 0), 1.0)
+        assert disks_have_common_point([a, b])

@@ -1,0 +1,115 @@
+"""Integration tests for the experiment drivers (scaled-down instances).
+
+These exercise exactly the code that regenerates the paper's tables and
+figure, including the built-in shape assertions.
+"""
+
+import math
+
+import pytest
+
+from repro.data import load_benchmark
+from repro.experiments import (
+    Fig8Point,
+    render_fig8,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_fig8,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.fig8 import ascii_plot
+from repro.experiments.table1 import run_table1_row
+
+
+@pytest.fixture(scope="module")
+def small_prim1():
+    return load_benchmark("prim1").scaled(24)
+
+
+@pytest.fixture(scope="module")
+def small_r1():
+    return load_benchmark("r1").scaled(20)
+
+
+class TestTable1:
+    def test_rows_and_shapes(self, small_prim1):
+        rows = run_table1(small_prim1, skew_bounds=(0.0, 0.1, 1.0, math.inf))
+        assert len(rows) == 4
+        for r in rows:
+            assert r.lubt_cost <= r.baseline_cost + 1e-6
+            assert r.shortest_delay <= r.longest_delay + 1e-9
+        # Zero-skew row realizes the paper's 1.000/1.000 columns.
+        zero = rows[0]
+        assert zero.shortest_delay == pytest.approx(1.0, abs=1e-6)
+        assert zero.longest_delay == pytest.approx(1.0, abs=1e-6)
+        # Unbounded tree no more expensive than the zero-skew tree.
+        assert rows[-1].lubt_cost <= rows[0].lubt_cost + 1e-6
+
+    def test_single_row(self, small_r1):
+        row = run_table1_row(small_r1, 0.5)
+        assert row.bench == small_r1.name
+        assert 0 <= row.improvement <= 1
+
+    def test_render(self, small_prim1):
+        rows = run_table1(small_prim1, skew_bounds=(0.0, math.inf))
+        text = render_table1(rows)
+        assert "LUBT cost" in text
+        assert small_prim1.name in text
+
+
+class TestTable2:
+    def test_rows(self, small_prim1):
+        rows = run_table2(small_prim1, 0.5)
+        assert len(rows) == 4  # 3 grid windows + the starred baseline one
+        starred = [r for r in rows if r.from_baseline]
+        assert len(starred) == 1
+        for r in rows:
+            assert r.upper == pytest.approx(r.lower + 0.5, abs=0.51)
+            assert r.cost > 0
+
+    def test_render_marks_baseline(self, small_prim1):
+        text = render_table2(run_table2(small_prim1, 0.3))
+        assert "*" in text
+
+
+class TestTable3:
+    def test_shapes_hold(self, small_prim1):
+        rows = run_table3(small_prim1)
+        assert len(rows) == 8
+        # Tighter windows pinned at u=1 cost (weakly) more.
+        pinned = {r.lower: r.cost for r in rows if r.upper == 1.0}
+        assert pinned[0.99] >= pinned[0.5] - 1e-6
+        # Global routing: looser upper bound is (weakly) cheaper.
+        global_rows = {r.upper: r.cost for r in rows if r.lower == 0.0}
+        assert global_rows[2.0] <= global_rows[1.0] + 1e-6
+
+    def test_render(self, small_r1):
+        text = render_table3(run_table3(small_r1))
+        assert "tree cost" in text
+
+
+class TestFig8:
+    def test_sweep_and_shapes(self, small_prim1):
+        points = run_fig8(
+            small_prim1, widths=(0.0, 0.5), lowers=(1.0, 0.5, 0.0)
+        )
+        assert len(points) == 6
+        # Zero-width series is the zero-skew-at-target family.
+        zero_width = [p for p in points if p.width == 0.0]
+        assert all(p.upper >= 1.0 for p in zero_width)
+
+    def test_render_and_plot(self, small_prim1):
+        points = run_fig8(small_prim1, widths=(0.1,), lowers=(1.0, 0.0))
+        assert "tree cost" in render_fig8(points)
+        plot = ascii_plot(points)
+        assert "#" in plot
+
+    def test_empty_plot(self):
+        assert ascii_plot([]) == "(no points)"
+
+    def test_point_fields(self):
+        p = Fig8Point("b", 0.1, 0.5, 1.0, 42.0)
+        assert p.upper == 1.0

@@ -1,0 +1,242 @@
+"""Property tests for octilinear convex regions.
+
+The distance formula ``max(gap_x + gap_y, gap_u, gap_v)`` is the load
+bearing claim; it is fuzzed here against brute-force minimization over
+dense corner/boundary samples.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Octilinear, Point, manhattan
+
+coords = st.floats(min_value=-50, max_value=50, allow_nan=False)
+radii = st.floats(min_value=0, max_value=30, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+@st.composite
+def regions(draw):
+    """Non-empty octilinear regions: point hulls, balls, rects + expansions."""
+    kind = draw(st.integers(0, 2))
+    if kind == 0:
+        pts = draw(st.lists(points, min_size=1, max_size=4))
+        base = Octilinear.from_points(pts)
+    elif kind == 1:
+        base = Octilinear.l1_ball(draw(points), draw(radii))
+    else:
+        x1, x2 = sorted((draw(coords), draw(coords)))
+        y1, y2 = sorted((draw(coords), draw(coords)))
+        base = Octilinear.rect(x1, x2, y1, y2)
+    return base.expanded(draw(radii))
+
+
+def sample_region(region, n_per_edge=4):
+    """Corners plus convex combinations — a dense boundary/interior grid."""
+    cs = region.corners()
+    if not cs:
+        return []
+    out = list(cs)
+    for a, b in itertools.combinations(cs, 2):
+        for t in np.linspace(0.2, 0.8, n_per_edge):
+            out.append(Point(a.x * (1 - t) + b.x * t, a.y * (1 - t) + b.y * t))
+    # centroid
+    out.append(
+        Point(
+            sum(c.x for c in cs) / len(cs), sum(c.y for c in cs) / len(cs)
+        )
+    )
+    return out
+
+
+class TestConstruction:
+    def test_point(self):
+        r = Octilinear.from_point(Point(1, 2))
+        assert r.is_point()
+        assert r.contains(Point(1, 2))
+        assert not r.contains(Point(1.1, 2))
+
+    def test_ball_is_diamond(self):
+        b = Octilinear.l1_ball(Point(0, 0), 2.0)
+        assert b.contains(Point(2, 0))
+        assert b.contains(Point(1, 1))
+        assert not b.contains(Point(1.5, 1.5))
+
+    def test_negative_ball_radius(self):
+        with pytest.raises(ValueError):
+            Octilinear.l1_ball(Point(0, 0), -1)
+
+    def test_rect(self):
+        r = Octilinear.rect(0, 4, 0, 2)
+        assert r.contains(Point(4, 2))
+        assert not r.contains(Point(4.1, 2))
+
+    def test_empty(self):
+        assert Octilinear.empty().is_empty()
+        assert Octilinear.from_points([]).is_empty()
+        assert Octilinear.from_bounds(xlo=1, xhi=0).is_empty()
+
+    def test_inconsistent_bounds_canonicalize_to_empty(self):
+        # x,y boxes force u in [0, 2]; demanding u >= 5 is impossible.
+        r = Octilinear.from_bounds(xlo=0, xhi=1, ylo=0, yhi=1, ulo=5)
+        assert r.is_empty()
+
+    def test_canonical_tightening(self):
+        # Unit square: u must get tightened to [0, 2], v to [-1, 1].
+        r = Octilinear.rect(0, 1, 0, 1)
+        assert r.ulo == 0 and r.uhi == 2
+        assert r.vlo == -1 and r.vhi == 1
+
+    def test_whole_plane_contains_anything(self):
+        assert Octilinear.whole_plane().contains(Point(1e9, -1e9))
+
+    @given(regions(), points)
+    @settings(max_examples=100, deadline=None)
+    def test_membership_iff_all_bounds(self, r, p):
+        inside = (
+            r.xlo <= p.x <= r.xhi
+            and r.ylo <= p.y <= r.yhi
+            and r.ulo <= p.u <= r.uhi
+            and r.vlo <= p.v <= r.vhi
+        )
+        assert r.contains(p, tol=0) == inside
+
+
+class TestCorners:
+    @given(regions())
+    @settings(max_examples=100, deadline=None)
+    def test_corners_inside(self, r):
+        for c in r.corners():
+            assert r.contains(c, tol=1e-6)
+
+    @given(regions())
+    @settings(max_examples=100, deadline=None)
+    def test_corners_span_bounds(self, r):
+        """Every finite bound is attained by some corner."""
+        cs = r.corners()
+        assert cs
+        xs = [c.x for c in cs]
+        ys = [c.y for c in cs]
+        if math.isfinite(r.xlo):
+            assert min(xs) == pytest.approx(r.xlo, abs=1e-6)
+        if math.isfinite(r.xhi):
+            assert max(xs) == pytest.approx(r.xhi, abs=1e-6)
+        if math.isfinite(r.ylo):
+            assert min(ys) == pytest.approx(r.ylo, abs=1e-6)
+        if math.isfinite(r.yhi):
+            assert max(ys) == pytest.approx(r.yhi, abs=1e-6)
+
+    def test_at_most_eight(self):
+        r = Octilinear.rect(0, 10, 0, 10).intersect(
+            Octilinear.l1_ball(Point(5, 5), 7)
+        )
+        assert 3 <= len(r.corners()) <= 8
+
+
+class TestOperations:
+    @given(regions(), regions(), points)
+    @settings(max_examples=150, deadline=None)
+    def test_intersection_membership(self, a, b, p):
+        i = a.intersect(b)
+        if a.contains(p, tol=0) and b.contains(p, tol=0):
+            assert i.contains(p, tol=1e-9)
+        if not i.is_empty() and i.contains(p, tol=0):
+            assert a.contains(p, tol=1e-6) and b.contains(p, tol=1e-6)
+
+    @given(regions(), radii, points)
+    @settings(max_examples=150, deadline=None)
+    def test_expansion_semantics(self, r, rad, p):
+        grown = r.expanded(rad)
+        if r.contains(p, tol=0):
+            assert grown.contains(p, tol=1e-9)
+        if grown.contains(p, tol=0):
+            assert r.distance_to_point(p) <= rad + 1e-6
+
+    @given(regions(), radii, radii)
+    @settings(max_examples=80, deadline=None)
+    def test_expansion_composes(self, r, r1, r2):
+        a = r.expanded(r1).expanded(r2)
+        b = r.expanded(r1 + r2)
+        assert a.contains_region(b, tol=1e-6)
+        assert b.contains_region(a, tol=1e-6)
+
+    @given(regions(), regions())
+    @settings(max_examples=100, deadline=None)
+    def test_hull_contains_both(self, a, b):
+        h = a.hull(b)
+        assert h.contains_region(a, tol=1e-9)
+        assert h.contains_region(b, tol=1e-9)
+
+
+class TestDistance:
+    @given(regions(), regions())
+    @settings(max_examples=150, deadline=None)
+    def test_distance_lower_bounds_all_pairs(self, a, b):
+        """No sampled pair may be closer than the formula.
+
+        Margin note: ``corners()`` accepts vertices up to 1e-6 outside
+        the exact region, so a sampled pair can undershoot the true
+        distance by ~2e-6; allow 5e-6.
+        """
+        d = a.distance_to(b)
+        for p in sample_region(a, 2):
+            for q in sample_region(b, 2):
+                assert manhattan(p, q) >= d - 5e-6
+
+    @given(regions(), regions())
+    @settings(max_examples=150, deadline=None)
+    def test_distance_attained_by_expansion(self, a, b):
+        """expand(A, d) must touch B; expand(A, d*0.99) must not
+        (the operational definition of set distance)."""
+        d = a.distance_to(b)
+        assert not a.expanded(d + 1e-6).intersect(b).is_empty()
+        if d > 1e-6:
+            assert a.expanded(d * 0.99 - 1e-9).intersect(b).is_empty()
+
+    @given(regions(), regions())
+    @settings(max_examples=80, deadline=None)
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a), abs=1e-9)
+
+    @given(regions(), points)
+    @settings(max_examples=150, deadline=None)
+    def test_closest_point(self, r, p):
+        c = r.closest_point_to(p)
+        assert r.contains(c, tol=1e-6)
+        assert manhattan(c, p) == pytest.approx(
+            r.distance_to_point(p), abs=1e-6
+        )
+
+    def test_distance_empty_raises(self):
+        with pytest.raises(ValueError):
+            Octilinear.empty().distance_to(Octilinear.from_point(Point(0, 0)))
+
+    def test_known_distances(self):
+        a = Octilinear.rect(0, 1, 0, 1)
+        b = Octilinear.rect(3, 4, 5, 6)
+        assert a.distance_to(b) == pytest.approx(2 + 4)
+        ball = Octilinear.l1_ball(Point(10, 0), 2)
+        assert a.distance_to(ball) == pytest.approx(7)
+
+
+class TestHellyForOctilinear:
+    """Pairwise intersection does NOT imply common intersection for
+    general convex sets, but octilinear regions are intersections of
+    half-planes in 4 directions, where the 1-D Helly property applies to
+    each direction — verify the common intersection is computed right."""
+
+    @given(st.lists(regions(), min_size=2, max_size=5))
+    @settings(max_examples=80, deadline=None)
+    def test_fold_intersection_sound(self, rs):
+        common = rs[0]
+        for r in rs[1:]:
+            common = common.intersect(r)
+        if not common.is_empty():
+            # Any corner of the common region is in all inputs.
+            for c in common.corners():
+                assert all(r.contains(c, tol=1e-6) for r in rs)

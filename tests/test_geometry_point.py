@@ -1,0 +1,119 @@
+"""Unit and property tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    bounding_box,
+    chebyshev,
+    euclidean,
+    manhattan,
+    manhattan_diameter,
+    manhattan_radius_from,
+)
+
+coords = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+
+class TestPoint:
+    def test_uv_roundtrip(self):
+        p = Point(3.0, -2.5)
+        q = Point.from_uv(p.u, p.v)
+        assert q.x == pytest.approx(p.x)
+        assert q.y == pytest.approx(p.y)
+
+    def test_uv_definition(self):
+        p = Point(1.0, 2.0)
+        assert p.u == 3.0
+        assert p.v == 1.0
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+    def test_iter_unpacks(self):
+        x, y = Point(4, 5)
+        assert (x, y) == (4, 5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1  # type: ignore[misc]
+
+    @given(points)
+    def test_uv_roundtrip_property(self, p):
+        q = Point.from_uv(p.u, p.v)
+        assert math.isclose(q.x, p.x, abs_tol=1e-6)
+        assert math.isclose(q.y, p.y, abs_tol=1e-6)
+
+
+class TestMetrics:
+    def test_manhattan_basic(self):
+        assert manhattan(Point(0, 0), Point(3, 4)) == 7.0
+
+    def test_euclidean_basic(self):
+        assert euclidean(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_chebyshev_basic(self):
+        assert chebyshev(Point(0, 0), Point(3, 4)) == 4.0
+
+    @given(points, points)
+    def test_manhattan_is_chebyshev_in_rotated_frame(self, a, b):
+        """The identity the whole TRR machinery depends on."""
+        m = manhattan(a, b)
+        c = max(abs(a.u - b.u), abs(a.v - b.v))
+        assert math.isclose(m, c, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(points, points)
+    def test_manhattan_symmetry(self, a, b):
+        assert manhattan(a, b) == manhattan(b, a)
+
+    @given(points, points, points)
+    def test_manhattan_triangle_inequality(self, a, b, c):
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c) + 1e-6
+
+    @given(points, points)
+    def test_metric_ordering(self, a, b):
+        """L-inf <= L2 <= L1 always."""
+        assert chebyshev(a, b) <= euclidean(a, b) + 1e-9
+        assert euclidean(a, b) <= manhattan(a, b) + 1e-9
+
+
+class TestAggregates:
+    def test_bounding_box(self):
+        box = bounding_box([Point(0, 1), Point(2, -1), Point(1, 3)])
+        assert box == (0, -1, 2, 3)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_diameter_pairwise(self):
+        pts = [Point(0, 0), Point(10, 0), Point(5, 5), Point(0, 9)]
+        brute = max(
+            manhattan(a, b) for a in pts for b in pts
+        )
+        assert manhattan_diameter(pts) == pytest.approx(brute)
+
+    @given(st.lists(points, min_size=2, max_size=30))
+    def test_diameter_matches_bruteforce(self, pts):
+        brute = max(manhattan(a, b) for a in pts for b in pts)
+        assert math.isclose(
+            manhattan_diameter(pts), brute, rel_tol=1e-9, abs_tol=1e-6
+        )
+
+    def test_diameter_degenerate(self):
+        assert manhattan_diameter([]) == 0.0
+        assert manhattan_diameter([Point(1, 1)]) == 0.0
+
+    def test_radius_from_source(self):
+        r = manhattan_radius_from(Point(0, 0), [Point(1, 1), Point(-3, 2)])
+        assert r == 5.0
+
+    def test_radius_no_sinks(self):
+        assert manhattan_radius_from(Point(0, 0), []) == 0.0

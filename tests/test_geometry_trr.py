@@ -1,0 +1,223 @@
+"""Unit and property tests for the TRR algebra (Section 5 + Appendix)."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point, TRR, helly_intersection, manhattan
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+radii = st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False)
+points = st.builds(Point, coords, coords)
+
+
+@st.composite
+def trrs(draw):
+    """Non-empty TRRs built from a point bbox plus an expansion."""
+    pts = draw(st.lists(points, min_size=1, max_size=4))
+    r = draw(radii)
+    return TRR.from_points(pts).expanded(r)
+
+
+class TestConstruction:
+    def test_point_trr_is_point(self):
+        t = TRR.from_point(Point(1, 2))
+        assert t.is_point()
+        assert not t.is_empty()
+        assert t.center() == Point(1, 2)
+
+    def test_square_trr(self):
+        t = TRR.square(Point(0, 0), 2.0)
+        assert t.radius == pytest.approx(2.0)
+        assert t.contains(Point(2, 0))
+        assert t.contains(Point(1, 1))
+        assert not t.contains(Point(2, 1))
+
+    def test_square_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            TRR.square(Point(0, 0), -1.0)
+
+    def test_empty(self):
+        assert TRR.empty().is_empty()
+        assert TRR.from_points([]).is_empty()
+        assert not TRR.empty().contains(Point(0, 0))
+
+    def test_center_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            TRR.empty().center()
+
+    def test_segment_detection(self):
+        # Two points on a Manhattan circle arc: same u, different v.
+        a = Point(0, 0)
+        b = Point(-1, 1)
+        assert a.u == b.u
+        t = TRR.from_points([a, b])
+        assert t.is_segment()
+        assert t.width == 0.0
+        assert t.length == pytest.approx(2.0)
+
+    def test_corners_count(self):
+        t = TRR.square(Point(0, 0), 1.0)
+        cs = t.corners()
+        assert len(cs) == 4
+        for c in cs:
+            assert manhattan(Point(0, 0), c) == pytest.approx(1.0)
+
+
+class TestExpansion:
+    def test_expand_point_is_l1_ball(self):
+        t = TRR.from_point(Point(0, 0)).expanded(3.0)
+        assert t.contains(Point(3, 0))
+        assert t.contains(Point(0, -3))
+        assert t.contains(Point(1.5, 1.5))
+        assert not t.contains(Point(2, 2))
+
+    def test_expand_negative_raises(self):
+        with pytest.raises(ValueError):
+            TRR.from_point(Point(0, 0)).expanded(-0.5)
+
+    def test_expand_empty_stays_empty(self):
+        assert TRR.empty().expanded(5.0).is_empty()
+
+    @given(points, radii, points)
+    def test_expansion_is_exact_minkowski(self, c, r, q):
+        """q is within distance r of {c} iff manhattan(c,q) <= r."""
+        t = TRR.from_point(c).expanded(r)
+        inside = manhattan(c, q) <= r + 1e-6
+        assert t.contains(q, tol=1e-6) == inside or math.isclose(
+            manhattan(c, q), r, rel_tol=1e-7, abs_tol=1e-6
+        )
+
+    @given(trrs(), radii, radii)
+    def test_expansion_composes(self, t, r1, r2):
+        a = t.expanded(r1).expanded(r2)
+        b = t.expanded(r1 + r2)
+        assert math.isclose(a.ulo, b.ulo, rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(a.uhi, b.uhi, rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(a.vlo, b.vlo, rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(a.vhi, b.vhi, rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestIntersection:
+    def test_disjoint(self):
+        a = TRR.square(Point(0, 0), 1.0)
+        b = TRR.square(Point(10, 0), 1.0)
+        assert a.intersect(b).is_empty()
+
+    def test_nested(self):
+        a = TRR.square(Point(0, 0), 5.0)
+        b = TRR.square(Point(0, 0), 1.0)
+        assert a.intersect(b) == b
+        assert a.contains_trr(b)
+        assert not b.contains_trr(a)
+
+    def test_intersection_commutative(self):
+        a = TRR.square(Point(0, 0), 3.0)
+        b = TRR.square(Point(2, 2), 3.0)
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(trrs(), trrs(), points)
+    def test_intersection_membership(self, a, b, q):
+        i = a.intersect(b)
+        if a.contains(q, tol=0.0) and b.contains(q, tol=0.0):
+            assert i.contains(q, tol=1e-9)
+        if not i.is_empty() and i.contains(q, tol=0.0):
+            assert a.contains(q, tol=1e-9) and b.contains(q, tol=1e-9)
+
+    def test_touching_trrs_intersect_in_point_or_segment(self):
+        a = TRR.square(Point(0, 0), 1.0)
+        b = TRR.square(Point(2, 0), 1.0)
+        i = a.intersect(b)
+        assert not i.is_empty()
+        assert i.is_point() or i.is_segment()
+        assert i.contains(Point(1, 0))
+
+
+class TestDistance:
+    def test_distance_zero_when_intersecting(self):
+        a = TRR.square(Point(0, 0), 2.0)
+        b = TRR.square(Point(1, 0), 2.0)
+        assert a.distance_to(b) == 0.0
+
+    def test_distance_between_points(self):
+        a = TRR.from_point(Point(0, 0))
+        b = TRR.from_point(Point(3, 4))
+        assert a.distance_to(b) == pytest.approx(7.0)
+
+    def test_distance_empty_raises(self):
+        with pytest.raises(ValueError):
+            TRR.empty().distance_to(TRR.from_point(Point(0, 0)))
+
+    @given(trrs(), trrs())
+    def test_distance_symmetric(self, a, b):
+        assert math.isclose(
+            a.distance_to(b), b.distance_to(a), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @given(trrs(), trrs())
+    def test_expanding_by_distance_makes_them_touch(self, a, b):
+        """dist(A,B)=d  =>  TRR(A,d) intersects B (Appendix geometry)."""
+        d = a.distance_to(b)
+        assert not a.expanded(d + 1e-6).intersect(b).is_empty()
+        if d > 1e-6:
+            assert a.expanded(d * 0.5).intersect(b).is_empty()
+
+    @given(trrs(), points)
+    def test_closest_point_is_a_minimizer(self, t, p):
+        c = t.closest_point_to(p)
+        assert t.contains(c, tol=1e-6)
+        d = manhattan(c, p)
+        assert math.isclose(d, t.distance_to_point(p), rel_tol=1e-9, abs_tol=1e-6)
+        for s in t.sample_points(3):
+            assert d <= manhattan(s, p) + 1e-6
+
+
+class TestHelly:
+    """Lemma 10.1 — the property that makes Theorem 4.1 true."""
+
+    @given(st.lists(trrs(), min_size=1, max_size=6))
+    @settings(max_examples=200)
+    def test_pairwise_implies_common(self, regions):
+        pairwise_ok = all(
+            not a.intersect(b).is_empty()
+            for a, b in itertools.combinations(regions, 2)
+        )
+        common = helly_intersection(regions)
+        if pairwise_ok:
+            assert not common.is_empty()
+        if not common.is_empty():
+            # Common point lies in every region.
+            c = common.center()
+            assert all(r.contains(c, tol=1e-6) for r in regions)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            helly_intersection([])
+
+    def test_three_squares_classic(self):
+        """Three L1 balls pairwise touching share a point (unlike disks)."""
+        a = TRR.square(Point(0, 0), 1.0)
+        b = TRR.square(Point(2, 0), 1.0)
+        c = TRR.square(Point(1, 1), 1.0)
+        assert not a.intersect(b).is_empty()
+        assert not b.intersect(c).is_empty()
+        assert not a.intersect(c).is_empty()
+        assert not helly_intersection([a, b, c]).is_empty()
+
+
+class TestSamplePoints:
+    def test_samples_inside(self):
+        t = TRR.square(Point(3, 3), 2.0)
+        for p in t.sample_points(4):
+            assert t.contains(p, tol=1e-9)
+
+    def test_samples_of_empty(self):
+        assert TRR.empty().sample_points() == []
+
+    def test_single_sample_is_center(self):
+        t = TRR.square(Point(1, 1), 1.0)
+        [c] = t.sample_points(per_axis=1)
+        assert c == t.center()

@@ -1,0 +1,94 @@
+"""Tests for the CPLEX LP-format exporter."""
+
+import math
+
+import pytest
+
+from repro.lp import LinearProgram, Sense, lp_to_string, write_lp_file
+from repro.lp.io import _sanitize
+
+
+def ebf_like_lp():
+    lp = LinearProgram()
+    e1 = lp.add_variable("e1", cost=1.0)
+    e2 = lp.add_variable("e2", cost=1.0)
+    e3 = lp.add_variable("e3", cost=2.5, ub=40.0)
+    lp.fix_variable(lp.add_variable("e4"), 0.0)
+    lp.add_constraint({e1: 1, e2: 1}, Sense.GE, 12.0, name="steiner1,2")
+    lp.add_constraint({e1: 1, e3: 1}, Sense.LE, 30.0, name="delay1.hi")
+    lp.add_constraint({e2: 1, e3: -0.5}, Sense.EQ, 3.0, name="tie")
+    return lp
+
+
+class TestFormat:
+    def test_sections_present(self):
+        text = lp_to_string(ebf_like_lp(), name="demo")
+        for section in ("Minimize", "Subject To", "Bounds", "End"):
+            assert section in text
+        assert text.splitlines()[0].startswith("\\ demo")
+
+    def test_rows_and_senses(self):
+        text = lp_to_string(ebf_like_lp())
+        assert "steiner1_2: 1 e1 + 1 e2 >= 12" in text
+        assert "delay1.hi: 1 e1 + 2.5 e3" not in text  # coeff is 1, not cost
+        assert "delay1.hi: 1 e1 + 1 e3 <= 30" in text
+        assert "tie: 1 e2 - 0.5 e3 = 3" in text
+
+    def test_objective_terms(self):
+        text = lp_to_string(ebf_like_lp())
+        assert "obj: 1 e1 + 1 e2 + 2.5 e3" in text
+
+    def test_bounds_section(self):
+        text = lp_to_string(ebf_like_lp())
+        assert " e4 = 0" in text
+        assert " 0 <= e3 <= 40" in text
+        # Default 0 <= e1 < inf emits nothing.
+        assert " e1 >=" not in text
+
+    def test_maximize_header(self):
+        lp = LinearProgram(minimize=False)
+        lp.add_variable("x", cost=1.0)
+        assert "Maximize" in lp_to_string(lp)
+
+    def test_nonzero_lower_bound(self):
+        lp = LinearProgram()
+        lp.add_variable("x", cost=1.0, lb=2.0)
+        assert " x >= 2" in lp_to_string(lp)
+
+    def test_write_file(self, tmp_path):
+        path = tmp_path / "model.lp"
+        write_lp_file(path, ebf_like_lp())
+        assert path.read_text().endswith("End\n")
+
+
+class TestSanitize:
+    def test_commas_replaced(self):
+        assert _sanitize("steiner1,2") == "steiner1_2"
+
+    def test_leading_digit_prefixed(self):
+        assert _sanitize("1abc")[0] == "n"
+
+    def test_empty(self):
+        assert _sanitize("")[0] == "n"
+
+
+class TestRealInstanceExport:
+    def test_ebf_instance_exports(self, tmp_path):
+        """A genuine EBF build writes a plausible, solver-sized file."""
+        import numpy as np
+
+        from repro.ebf import DelayBounds, build_ebf_lp
+        from repro.geometry import Point
+        from repro.topology import nearest_neighbor_topology
+
+        rng = np.random.default_rng(5)
+        pts = [Point(float(x), float(y)) for x, y in rng.integers(0, 50, (8, 2))]
+        topo = nearest_neighbor_topology(pts, Point(25, 25))
+        lp = build_ebf_lp(topo, DelayBounds.uniform(8, 10.0, 200.0))
+        text = lp_to_string(lp, name="ebf-demo")
+        # 8 sinks -> C(8,2)=28 Steiner rows + 16 delay rows.
+        assert text.count(">=") >= 28
+        assert "delay1.lo" in text and "delay8.hi" in text
+        path = tmp_path / "ebf.lp"
+        write_lp_file(path, lp)
+        assert path.stat().st_size > 500

@@ -1,0 +1,138 @@
+"""Tests for the LinearProgram model builder."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram, Sense
+
+
+class TestVariables:
+    def test_add_variable_returns_index(self):
+        lp = LinearProgram()
+        assert lp.add_variable("a") == 0
+        assert lp.add_variable("b") == 1
+        assert lp.num_variables == 2
+        assert lp.variable_name(0) == "a"
+
+    def test_default_bounds_nonnegative(self):
+        lp = LinearProgram()
+        lp.add_variable()
+        assert lp.lower_bounds[0] == 0.0
+        assert math.isinf(lp.upper_bounds[0])
+
+    def test_bad_bounds_raise(self):
+        lp = LinearProgram()
+        with pytest.raises(ValueError):
+            lp.add_variable(lb=2.0, ub=1.0)
+
+    def test_add_variables_bulk(self):
+        lp = LinearProgram()
+        rng = lp.add_variables(5, prefix="e", cost=1.0)
+        assert list(rng) == [0, 1, 2, 3, 4]
+        assert np.all(lp.costs == 1.0)
+
+    def test_fix_variable(self):
+        lp = LinearProgram()
+        j = lp.add_variable()
+        lp.fix_variable(j, 3.5)
+        assert lp.lower_bounds[j] == lp.upper_bounds[j] == 3.5
+
+    def test_set_cost(self):
+        lp = LinearProgram()
+        j = lp.add_variable(cost=1.0)
+        lp.set_cost(j, 7.0)
+        assert lp.costs[j] == 7.0
+
+
+class TestConstraints:
+    def test_duplicate_coefficients_sum(self):
+        lp = LinearProgram()
+        j = lp.add_variable()
+        lp.add_constraint([(j, 1.0), (j, 2.0)], Sense.GE, 3.0)
+        coeffs, sense, rhs = lp.row(0)
+        assert coeffs == ((j, 3.0),)
+
+    def test_unknown_variable_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(ValueError):
+            lp.add_constraint({5: 1.0}, Sense.LE, 1.0)
+
+    def test_range_constraint_two_rows(self):
+        lp = LinearProgram()
+        j = lp.add_variable()
+        rows = lp.add_range_constraint({j: 1.0}, 1.0, 2.0)
+        assert len(rows) == 2
+        _, s0, r0 = lp.row(rows[0])
+        _, s1, r1 = lp.row(rows[1])
+        assert (s0, r0) == (Sense.GE, 1.0)
+        assert (s1, r1) == (Sense.LE, 2.0)
+
+    def test_range_equal_bounds_single_equality(self):
+        lp = LinearProgram()
+        j = lp.add_variable()
+        rows = lp.add_range_constraint({j: 1.0}, 2.0, 2.0)
+        assert len(rows) == 1
+        _, sense, rhs = lp.row(rows[0])
+        assert sense is Sense.EQ and rhs == 2.0
+
+    def test_range_infinite_upper_single_ge(self):
+        lp = LinearProgram()
+        j = lp.add_variable()
+        rows = lp.add_range_constraint({j: 1.0}, 1.0, math.inf)
+        assert len(rows) == 1
+
+    def test_range_inverted_raises(self):
+        lp = LinearProgram()
+        j = lp.add_variable()
+        with pytest.raises(ValueError):
+            lp.add_range_constraint({j: 1.0}, 3.0, 1.0)
+
+
+class TestEvaluation:
+    def make_lp(self):
+        lp = LinearProgram()
+        x = lp.add_variable(cost=1.0)
+        y = lp.add_variable(cost=2.0)
+        lp.add_constraint({x: 1.0, y: 1.0}, Sense.GE, 2.0)
+        lp.add_constraint({x: 1.0}, Sense.LE, 5.0)
+        lp.add_constraint({y: 1.0}, Sense.EQ, 1.0)
+        return lp, x, y
+
+    def test_residuals(self):
+        lp, x, y = self.make_lp()
+        res = lp.residuals(np.array([1.0, 1.0]))
+        assert res[0] == pytest.approx(0.0)
+        assert res[1] == pytest.approx(4.0)
+        assert res[2] == pytest.approx(0.0)
+
+    def test_is_feasible(self):
+        lp, _, _ = self.make_lp()
+        assert lp.is_feasible(np.array([1.0, 1.0]))
+        assert not lp.is_feasible(np.array([0.0, 1.0]))  # row 0 violated
+        assert not lp.is_feasible(np.array([6.0, 1.0]))  # row 1 violated
+        assert not lp.is_feasible(np.array([1.0, 2.0]))  # row 2 violated
+        assert not lp.is_feasible(np.array([-1.0, 1.0]))  # bound violated
+
+    def test_objective(self):
+        lp, _, _ = self.make_lp()
+        assert lp.objective_value(np.array([1.0, 1.0])) == 3.0
+
+    def test_to_arrays_shapes(self):
+        lp, _, _ = self.make_lp()
+        c, a_ub, b_ub, a_eq, b_eq, bounds = lp.to_arrays()
+        assert a_ub.shape == (2, 2)
+        assert a_eq.shape == (1, 2)
+        # GE row is negated into <= form.
+        assert b_ub[0] == -2.0
+        assert a_ub[0, 0] == -1.0
+        assert bounds == [(0.0, None), (0.0, None)]
+
+    def test_to_arrays_no_eq_rows(self):
+        lp = LinearProgram()
+        j = lp.add_variable()
+        lp.add_constraint({j: 1.0}, Sense.LE, 1.0)
+        _, a_ub, _, a_eq, b_eq, _ = lp.to_arrays()
+        assert a_eq is None and b_eq is None
+        assert a_ub is not None

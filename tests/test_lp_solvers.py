@@ -1,0 +1,192 @@
+"""Tests for both LP backends, including randomized cross-validation.
+
+The from-scratch simplex is the independent stand-in for the paper's LOQO;
+these tests pin it against scipy/HiGHS: on every random feasible instance
+both backends must report the same optimal objective.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lp import (
+    InfeasibleError,
+    LinearProgram,
+    LpStatus,
+    Sense,
+    UnboundedError,
+    solve_lp,
+)
+
+BACKENDS = ["simplex", "scipy"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+class TestTextbookInstances:
+    def test_simple_minimization(self, backend):
+        # min x + 2y  s.t. x + y >= 2, y >= 0.5  ->  x=1.5, y=0.5, obj=2.5
+        lp = LinearProgram()
+        x = lp.add_variable(cost=1.0)
+        y = lp.add_variable(cost=2.0)
+        lp.add_constraint({x: 1, y: 1}, Sense.GE, 2.0)
+        lp.add_constraint({y: 1}, Sense.GE, 0.5)
+        res = solve_lp(lp, backend).require_optimal()
+        assert res.objective == pytest.approx(2.5)
+        assert res.x[0] == pytest.approx(1.5)
+        assert res.x[1] == pytest.approx(0.5)
+
+    def test_maximization(self, backend):
+        # max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic Dantzig)
+        lp = LinearProgram(minimize=False)
+        x = lp.add_variable(cost=3.0)
+        y = lp.add_variable(cost=5.0)
+        lp.add_constraint({x: 1}, Sense.LE, 4.0)
+        lp.add_constraint({y: 2}, Sense.LE, 12.0)
+        lp.add_constraint({x: 3, y: 2}, Sense.LE, 18.0)
+        res = solve_lp(lp, backend).require_optimal()
+        assert res.objective == pytest.approx(36.0)
+        assert res.x[0] == pytest.approx(2.0)
+        assert res.x[1] == pytest.approx(6.0)
+
+    def test_equality_constraints(self, backend):
+        # min x + y s.t. x + y == 3, x - y == 1 -> unique point (2, 1)
+        lp = LinearProgram()
+        x = lp.add_variable(cost=1.0)
+        y = lp.add_variable(cost=1.0)
+        lp.add_constraint({x: 1, y: 1}, Sense.EQ, 3.0)
+        lp.add_constraint({x: 1, y: -1}, Sense.EQ, 1.0)
+        res = solve_lp(lp, backend).require_optimal()
+        assert res.x[0] == pytest.approx(2.0)
+        assert res.x[1] == pytest.approx(1.0)
+
+    def test_infeasible(self, backend):
+        lp = LinearProgram()
+        x = lp.add_variable(cost=1.0)
+        lp.add_constraint({x: 1}, Sense.GE, 5.0)
+        lp.add_constraint({x: 1}, Sense.LE, 1.0)
+        res = solve_lp(lp, backend)
+        assert res.status is LpStatus.INFEASIBLE
+        with pytest.raises(InfeasibleError):
+            res.require_optimal()
+
+    def test_unbounded(self, backend):
+        lp = LinearProgram()
+        x = lp.add_variable(cost=-1.0)
+        lp.add_constraint({x: 1}, Sense.GE, 0.0)
+        res = solve_lp(lp, backend)
+        assert res.status is LpStatus.UNBOUNDED
+        with pytest.raises(UnboundedError):
+            res.require_optimal()
+
+    def test_fixed_variables_substituted(self, backend):
+        # y pinned to 2; min x s.t. x + y >= 5 -> x = 3.
+        lp = LinearProgram()
+        x = lp.add_variable(cost=1.0)
+        y = lp.add_variable()
+        lp.fix_variable(y, 2.0)
+        lp.add_constraint({x: 1, y: 1}, Sense.GE, 5.0)
+        res = solve_lp(lp, backend).require_optimal()
+        assert res.x[0] == pytest.approx(3.0)
+        assert res.x[1] == pytest.approx(2.0)
+
+    def test_finite_upper_bounds(self, backend):
+        # max x + y with x <= 1.5 (bound), x + y <= 2 -> obj 2.
+        lp = LinearProgram(minimize=False)
+        x = lp.add_variable(cost=1.0, ub=1.5)
+        y = lp.add_variable(cost=1.0)
+        lp.add_constraint({x: 1, y: 1}, Sense.LE, 2.0)
+        res = solve_lp(lp, backend).require_optimal()
+        assert res.objective == pytest.approx(2.0)
+        assert res.x[0] <= 1.5 + 1e-9
+
+    def test_shifted_lower_bounds(self, backend):
+        # min x s.t. x >= 0 with lb = 4 -> x = 4.
+        lp = LinearProgram()
+        x = lp.add_variable(cost=1.0, lb=4.0)
+        lp.add_constraint({x: 1}, Sense.LE, 10.0)
+        res = solve_lp(lp, backend).require_optimal()
+        assert res.x[0] == pytest.approx(4.0)
+
+    def test_negative_rhs_ge(self, backend):
+        # x >= -5 is vacuous for x >= 0 -> x = 0.
+        lp = LinearProgram()
+        x = lp.add_variable(cost=1.0)
+        lp.add_constraint({x: 1}, Sense.GE, -5.0)
+        res = solve_lp(lp, backend).require_optimal()
+        assert res.objective == pytest.approx(0.0)
+
+    def test_no_constraints(self, backend):
+        lp = LinearProgram()
+        lp.add_variable(cost=1.0)
+        res = solve_lp(lp, backend).require_optimal()
+        assert res.objective == pytest.approx(0.0)
+
+    def test_degenerate_cycling_guard(self, backend):
+        """Beale's classic cycling example — Bland's rule must terminate."""
+        lp = LinearProgram()
+        x = [lp.add_variable(cost=c) for c in (-0.75, 150.0, -0.02, 6.0)]
+        lp.add_constraint({x[0]: 0.25, x[1]: -60, x[2]: -0.04, x[3]: 9}, Sense.LE, 0)
+        lp.add_constraint({x[0]: 0.5, x[1]: -90, x[2]: -0.02, x[3]: 3}, Sense.LE, 0)
+        lp.add_constraint({x[2]: 1.0}, Sense.LE, 1.0)
+        res = solve_lp(lp, backend).require_optimal()
+        assert res.objective == pytest.approx(-0.05)
+
+
+@st.composite
+def random_feasible_lps(draw):
+    """LPs guaranteed feasible by construction (a known interior point)."""
+    n = draw(st.integers(min_value=1, max_value=5))
+    m = draw(st.integers(min_value=1, max_value=6))
+    rng = np.random.default_rng(draw(st.integers(min_value=0, max_value=10_000)))
+    x0 = rng.uniform(0.0, 5.0, size=n)  # certified feasible point
+    lp = LinearProgram()
+    for j in range(n):
+        lp.add_variable(cost=float(rng.uniform(0.1, 2.0)))  # positive costs
+    for _ in range(m):
+        coeffs = {
+            j: float(rng.uniform(-1.0, 2.0))
+            for j in rng.choice(n, size=min(n, 3), replace=False)
+        }
+        lhs = sum(a * x0[j] for j, a in coeffs.items())
+        if rng.random() < 0.5:
+            lp.add_constraint(coeffs, Sense.GE, lhs - abs(rng.normal()))
+        else:
+            lp.add_constraint(coeffs, Sense.LE, lhs + abs(rng.normal()))
+    return lp, x0
+
+
+class TestCrossValidation:
+    @given(random_feasible_lps())
+    @settings(max_examples=120, deadline=None)
+    def test_backends_agree(self, case):
+        lp, x0 = case
+        a = solve_lp(lp, "simplex")
+        b = solve_lp(lp, "scipy")
+        assert a.status is LpStatus.OPTIMAL
+        assert b.status is LpStatus.OPTIMAL
+        assert a.objective == pytest.approx(b.objective, rel=1e-6, abs=1e-6)
+        # Certified point bounds the optimum from above.
+        assert a.objective <= lp.objective_value(x0) + 1e-6
+        # Both solutions feasible under the model's own checker.
+        assert lp.is_feasible(a.x)
+        assert lp.is_feasible(b.x)
+
+    def test_auto_backend_dispatch(self):
+        lp = LinearProgram()
+        x = lp.add_variable(cost=1.0)
+        lp.add_constraint({x: 1}, Sense.GE, 1.0)
+        res = solve_lp(lp, "auto")
+        assert res.backend == "simplex"  # tiny -> own solver
+
+    def test_unknown_backend(self):
+        lp = LinearProgram()
+        lp.add_variable()
+        with pytest.raises(ValueError):
+            solve_lp(lp, "cplex")

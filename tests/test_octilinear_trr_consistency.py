@@ -1,0 +1,96 @@
+"""Cross-validation: Octilinear regions restricted to the TRR subclass
+must agree with the dedicated TRR implementation operation-by-operation.
+
+TRRs are octilinear regions with vacuous x/y bounds, so every TRR-level
+result (intersection emptiness, expansion membership, distances) has an
+octilinear counterpart.  Any disagreement means one of the two geometry
+kernels is wrong.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Octilinear, Point, TRR
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+radii = st.floats(min_value=0, max_value=60, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+@st.composite
+def trr_pairs(draw):
+    """A TRR and its octilinear twin, built from the same data."""
+    pts = draw(st.lists(points, min_size=1, max_size=3))
+    r = draw(radii)
+    trr = TRR.from_points(pts).expanded(r)
+    octo = Octilinear.from_bounds(
+        ulo=trr.ulo, uhi=trr.uhi, vlo=trr.vlo, vhi=trr.vhi
+    )
+    return trr, octo
+
+
+class TestConsistency:
+    @given(trr_pairs(), points)
+    @settings(max_examples=150, deadline=None)
+    def test_membership_agrees(self, pair, p):
+        trr, octo = pair
+        assert trr.contains(p, tol=1e-7) == octo.contains(p, tol=1e-7)
+
+    @given(trr_pairs(), trr_pairs())
+    @settings(max_examples=150, deadline=None)
+    def test_distance_agrees(self, pa, pb):
+        trr_a, oct_a = pa
+        trr_b, oct_b = pb
+        assert trr_a.distance_to(trr_b) == pytest.approx(
+            oct_a.distance_to(oct_b), abs=1e-6
+        )
+
+    @given(trr_pairs(), trr_pairs())
+    @settings(max_examples=150, deadline=None)
+    def test_intersection_emptiness_agrees(self, pa, pb):
+        trr_a, oct_a = pa
+        trr_b, oct_b = pb
+        t_empty = trr_a.intersect(trr_b).is_empty()
+        o_empty = oct_a.intersect(oct_b).is_empty()
+        if t_empty != o_empty:
+            # Allow boundary-epsilon disagreement only.
+            d = trr_a.distance_to(trr_b)
+            assert math.isclose(d, 0.0, abs_tol=1e-6)
+        else:
+            assert t_empty == o_empty
+
+    @given(trr_pairs(), radii, points)
+    @settings(max_examples=120, deadline=None)
+    def test_expansion_agrees(self, pair, r, p):
+        trr, octo = pair
+        te = trr.expanded(r)
+        oe = octo.expanded(r)
+        assert te.contains(p, tol=1e-6) == oe.contains(p, tol=1e-6)
+
+    @given(trr_pairs(), points)
+    @settings(max_examples=120, deadline=None)
+    def test_closest_point_distance_agrees(self, pair, p):
+        trr, octo = pair
+        assert trr.distance_to_point(p) == pytest.approx(
+            octo.distance_to_point(p), abs=1e-6
+        )
+
+
+class TestSubclassEmbedding:
+    def test_l1_ball_equals_square_trr(self):
+        ball_t = TRR.square(Point(3, 4), 5.0)
+        ball_o = Octilinear.l1_ball(Point(3, 4), 5.0)
+        for probe in (
+            Point(8, 4), Point(3, 9), Point(6, 6), Point(7, 6), Point(-2, 4)
+        ):
+            assert ball_t.contains(probe, tol=1e-9) == ball_o.contains(
+                probe, tol=1e-9
+            )
+
+    def test_point_regions(self):
+        p = Point(1, 2)
+        assert TRR.from_point(p).is_point()
+        assert Octilinear.from_point(p).is_point()

@@ -1,0 +1,51 @@
+"""Tests for the ASCII tree renderer."""
+
+import pytest
+
+from repro.analysis import render_tree
+from repro.ebf import DelayBounds
+from repro.embedding import solve_and_embed
+from repro.geometry import Point
+from repro.topology import nearest_neighbor_topology
+
+
+@pytest.fixture
+def small_tree():
+    sinks = [Point(0, 0), Point(100, 0), Point(100, 80), Point(0, 80)]
+    topo = nearest_neighbor_topology(sinks, Point(50, 40))
+    _, tree = solve_and_embed(topo, DelayBounds.normalized(topo, 0.0, 2.0))
+    return tree
+
+
+class TestRenderTree:
+    def test_contains_markers(self, small_tree):
+        art = render_tree(small_tree)
+        assert "S" in art
+        for digit in "1234":
+            assert digit in art
+
+    def test_summary_line(self, small_tree):
+        art = render_tree(small_tree)
+        assert art.splitlines()[-1].startswith("cost=")
+
+    def test_dimensions(self, small_tree):
+        art = render_tree(small_tree, width=40, height=12)
+        body = art.splitlines()[:-1]
+        assert len(body) == 12
+        assert all(len(line) <= 40 for line in body)
+
+    def test_canvas_too_small(self, small_tree):
+        with pytest.raises(ValueError):
+            render_tree(small_tree, width=4, height=2)
+
+    def test_degenerate_single_sink(self):
+        topo = nearest_neighbor_topology([Point(5, 5)], Point(5, 5))
+        _, tree = solve_and_embed(
+            topo, DelayBounds.uniform(1, 0.0, 1.0), check_bounds=False
+        )
+        art = render_tree(tree)
+        assert "S" in art or "1" in art
+
+    def test_wires_drawn(self, small_tree):
+        art = render_tree(small_tree)
+        assert "-" in art or "|" in art

@@ -1,0 +1,84 @@
+"""Tests for the clock-power accounting model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PowerParameters,
+    buffers_for_hold,
+    tree_power,
+)
+from repro.ebf import DelayBounds, solve_lubt
+from repro.ebf.bounds import radius_of
+from repro.geometry import Point
+from repro.topology import nearest_neighbor_topology
+
+
+def topo8(seed=1):
+    rng = np.random.default_rng(seed)
+    pts = [Point(float(x), float(y)) for x, y in rng.integers(0, 60, (8, 2))]
+    return nearest_neighbor_topology(pts, Point(30.0, 30.0))
+
+
+class TestPowerParameters:
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            PowerParameters(frequency=0.0)
+        with pytest.raises(ValueError):
+            PowerParameters(buffer_delay=-1.0)
+
+    def test_dynamic_power_formula(self):
+        p = PowerParameters(frequency=2.0, vdd=1.5, activity=0.5)
+        assert p.dynamic_power(10.0) == pytest.approx(0.5 * 2.0 * 1.5**2 * 10.0)
+
+
+class TestTreePower:
+    def test_wire_cap_accounting(self):
+        topo = topo8()
+        e = np.ones(topo.num_nodes)
+        e[0] = 0.0
+        p = PowerParameters(wire_cap_per_unit=2.0)
+        rep = tree_power(topo, e, p, sink_load_cap=0.5)
+        expected_cap = 2.0 * topo.num_edges + 0.5 * topo.num_sinks
+        assert rep.switched_capacitance == pytest.approx(expected_cap)
+        assert rep.power == pytest.approx(p.dynamic_power(expected_cap))
+        assert rep.buffers == 0
+        assert rep.area_overhead == 0.0
+
+    def test_buffer_cap_and_area(self):
+        topo = topo8()
+        e = np.zeros(topo.num_nodes)
+        p = PowerParameters(buffer_input_cap=7.0, buffer_area=3.0)
+        rep = tree_power(topo, e, p, buffers=4, strategy="delay buffers")
+        assert rep.switched_capacitance == pytest.approx(28.0)
+        assert rep.area_overhead == pytest.approx(12.0)
+        assert rep.strategy == "delay buffers"
+
+
+class TestBuffersForHold:
+    def test_counts_ceil_per_sink(self):
+        p = PowerParameters(buffer_delay=10.0)
+        delays = np.array([5.0, 19.0, 30.0, 31.0])
+        # hold = 30: shortfalls 25, 11, 0, 0 -> ceil 3 + 2 = 5
+        assert buffers_for_hold(delays, 30.0, p) == 5
+
+    def test_no_violations_no_buffers(self):
+        p = PowerParameters()
+        assert buffers_for_hold(np.array([10.0, 20.0]), 5.0, p) == 0
+
+    def test_elongation_beats_buffers_scenario(self):
+        """The paper's argument holds in the model whenever the added
+        detour wire's capacitance is below the buffers' input caps."""
+        topo = topo8(3)
+        r = radius_of(topo)
+        p = PowerParameters(
+            wire_cap_per_unit=1.0, buffer_input_cap=80.0, buffer_delay=r / 10
+        )
+        base = solve_lubt(topo, DelayBounds.uniform(8, 0.0, 1.2 * r))
+        hold = 0.8 * r
+        fixed = solve_lubt(topo, DelayBounds.uniform(8, hold, 1.2 * r))
+        n_buf = buffers_for_hold(base.delays, hold, p)
+        assert n_buf > 0  # the scenario actually has violations
+        buffered = tree_power(topo, base.edge_lengths, p, buffers=n_buf)
+        elongated = tree_power(topo, fixed.edge_lengths, p)
+        assert elongated.power < buffered.power

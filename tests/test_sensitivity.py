@@ -1,0 +1,141 @@
+"""Tests for LP duals and delay-bound sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import delay_sensitivities, sensitivities_from_solution
+from repro.ebf import DelayBounds, solve_lubt
+from repro.ebf.bounds import radius_of
+from repro.geometry import Point
+from repro.lp import LinearProgram, Sense, solve_lp
+from repro.topology import nearest_neighbor_topology
+
+
+def random_topo(m, seed):
+    rng = np.random.default_rng(seed)
+    pts = [Point(float(x), float(y)) for x, y in rng.integers(0, 80, (m, 2))]
+    return nearest_neighbor_topology(pts, Point(40.0, 40.0))
+
+
+class TestLpDuals:
+    def test_ge_row_dual_orientation(self):
+        # min x s.t. x >= 3: dual of the row = d cost / d rhs = +1.
+        lp = LinearProgram()
+        x = lp.add_variable(cost=1.0)
+        lp.add_constraint({x: 1}, Sense.GE, 3.0)
+        res = solve_lp(lp, "scipy").require_optimal()
+        assert res.duals is not None
+        assert res.duals[0] == pytest.approx(1.0)
+
+    def test_le_row_dual_orientation(self):
+        # max x s.t. x <= 5 (i.e. min -x): d(max obj)/d rhs = +1.
+        lp = LinearProgram(minimize=False)
+        x = lp.add_variable(cost=1.0)
+        lp.add_constraint({x: 1}, Sense.LE, 5.0)
+        res = solve_lp(lp, "scipy").require_optimal()
+        assert res.duals[0] == pytest.approx(1.0)
+
+    def test_nonbinding_row_zero_dual(self):
+        lp = LinearProgram()
+        x = lp.add_variable(cost=1.0)
+        lp.add_constraint({x: 1}, Sense.GE, 3.0)
+        lp.add_constraint({x: 1}, Sense.LE, 100.0)  # slack
+        res = solve_lp(lp, "scipy").require_optimal()
+        assert res.duals[1] == pytest.approx(0.0)
+
+    def test_dual_predicts_objective_change(self):
+        """First-order check: perturbing a rhs moves the optimum by
+        dual * delta."""
+        lp = LinearProgram()
+        x = lp.add_variable(cost=2.0)
+        y = lp.add_variable(cost=1.0)
+        lp.add_constraint({x: 1, y: 1}, Sense.GE, 4.0)
+        lp.add_constraint({x: 1}, Sense.GE, 1.0)
+        base = solve_lp(lp, "scipy").require_optimal()
+
+        lp2 = LinearProgram()
+        x = lp2.add_variable(cost=2.0)
+        y = lp2.add_variable(cost=1.0)
+        lp2.add_constraint({x: 1, y: 1}, Sense.GE, 4.5)
+        lp2.add_constraint({x: 1}, Sense.GE, 1.0)
+        bumped = solve_lp(lp2, "scipy").require_optimal()
+        predicted = base.objective + base.duals[0] * 0.5
+        assert bumped.objective == pytest.approx(predicted)
+
+    def test_simplex_backend_reports_no_duals(self):
+        lp = LinearProgram()
+        x = lp.add_variable(cost=1.0)
+        lp.add_constraint({x: 1}, Sense.GE, 1.0)
+        res = solve_lp(lp, "simplex").require_optimal()
+        assert res.duals is None
+
+
+class TestDelaySensitivity:
+    def test_prices_orientation(self):
+        topo = random_topo(8, 3)
+        r = radius_of(topo)
+        bounds = DelayBounds.uniform(8, 0.9 * r, 1.1 * r)
+        sol, sens = delay_sensitivities(topo, bounds, check_bounds=False)
+        assert len(sens) == 8
+        for s in sens:
+            assert s.lower_price >= -1e-7   # raising l never saves wire
+            assert s.upper_price <= 1e-7    # raising u never costs wire
+
+    def test_binding_iff_at_bound(self):
+        """A sink with a nonzero price must sit at that bound."""
+        topo = random_topo(10, 7)
+        r = radius_of(topo)
+        bounds = DelayBounds.uniform(10, 0.95 * r, 1.05 * r)
+        _, sens = delay_sensitivities(topo, bounds, check_bounds=False)
+        for s in sens:
+            if s.lower_binding:
+                assert s.delay == pytest.approx(s.lower_bound, abs=1e-5)
+            if s.upper_binding:
+                assert s.delay == pytest.approx(s.upper_bound, abs=1e-5)
+
+    def test_prices_predict_cost_change(self):
+        """Sum of lower prices approximates d(cost)/d(uniform l)."""
+        topo = random_topo(6, 11)
+        r = radius_of(topo)
+        lo = 0.95 * r
+        bounds = DelayBounds.uniform(6, lo, 1.3 * r)
+        sol, sens = delay_sensitivities(topo, bounds, check_bounds=False)
+        eps = 1e-4 * r
+        bumped = solve_lubt(
+            topo,
+            DelayBounds.uniform(6, lo + eps, 1.3 * r),
+            backend="scipy",
+            check_bounds=False,
+        )
+        predicted = sol.cost + sum(s.lower_price for s in sens) * eps
+        assert bumped.cost == pytest.approx(predicted, rel=1e-4)
+
+    def test_requires_keep_lp(self):
+        topo = random_topo(4, 13)
+        r = radius_of(topo)
+        sol = solve_lubt(topo, DelayBounds.uniform(4, 0.0, 2 * r))
+        with pytest.raises(ValueError):
+            sensitivities_from_solution(sol)
+
+    def test_requires_dual_reporting_backend(self):
+        topo = random_topo(4, 17)
+        r = radius_of(topo)
+        sol = solve_lubt(
+            topo,
+            DelayBounds.uniform(4, 0.0, 2 * r),
+            backend="simplex",
+            keep_lp=True,
+        )
+        with pytest.raises(ValueError):
+            sensitivities_from_solution(sol)
+
+    def test_zero_skew_equality_rows(self):
+        """l == u produces equality delay rows; both sides share a dual."""
+        topo = random_topo(5, 19)
+        from repro.ebf import solve_zero_skew
+
+        t = solve_zero_skew(topo).delay
+        sol, sens = delay_sensitivities(
+            topo, DelayBounds.zero_skew(5, t * 1.2), check_bounds=False
+        )
+        assert all(s.lower_price == s.upper_price for s in sens)

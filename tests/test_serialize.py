@@ -1,0 +1,82 @@
+"""Tests for topology/tree JSON serialization."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebf import DelayBounds
+from repro.embedding import solve_and_embed
+from repro.geometry import Point
+from repro.topology import (
+    load_tree,
+    nearest_neighbor_topology,
+    save_tree,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+def random_topo(m, seed, fixed=True):
+    rng = np.random.default_rng(seed)
+    pts = [Point(float(x), float(y)) for x, y in rng.integers(0, 100, (m, 2))]
+    return nearest_neighbor_topology(pts, Point(50, 50) if fixed else None)
+
+
+class TestRoundtrip:
+    @given(st.integers(1, 20), st.integers(0, 500), st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_topology_roundtrip(self, m, seed, fixed):
+        topo = random_topo(m, seed, fixed)
+        back, e, placements = topology_from_dict(topology_to_dict(topo))
+        assert back.num_nodes == topo.num_nodes
+        assert back.num_sinks == topo.num_sinks
+        assert [back.parent(i) for i in range(back.num_nodes)] == [
+            topo.parent(i) for i in range(topo.num_nodes)
+        ]
+        assert back.sink_locations == topo.sink_locations
+        assert back.source_location == topo.source_location
+        assert e is None and placements is None
+
+    def test_full_tree_roundtrip(self, tmp_path):
+        topo = random_topo(6, 7)
+        sol, tree = solve_and_embed(topo, DelayBounds.normalized(topo, 0.5, 1.5))
+        path = tmp_path / "tree.json"
+        save_tree(path, topo, sol.edge_lengths, tree.placements)
+        back, e, placements = load_tree(path)
+        assert e == pytest.approx(sol.edge_lengths)
+        assert placements is not None
+        for i in range(topo.num_nodes):
+            assert placements[i] == tree.placements[i]
+
+    def test_json_is_plain(self, tmp_path):
+        topo = random_topo(3, 9)
+        path = tmp_path / "t.json"
+        save_tree(path, topo)
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "lubt-tree-v1"
+        assert doc["source"] == [50.0, 50.0]
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            topology_from_dict({"format": "something-else"})
+
+    def test_edge_length_shape_checked(self):
+        topo = random_topo(3, 1)
+        with pytest.raises(ValueError):
+            topology_to_dict(topo, edge_lengths=np.ones(2))
+        doc = topology_to_dict(topo)
+        doc["edge_lengths"] = [1.0]
+        with pytest.raises(ValueError):
+            topology_from_dict(doc)
+
+    def test_placements_length_checked(self):
+        topo = random_topo(3, 2)
+        doc = topology_to_dict(topo)
+        doc["placements"] = [[0, 0]]
+        with pytest.raises(ValueError):
+            topology_from_dict(doc)

@@ -1,0 +1,121 @@
+"""Tests for serpentine realization of elongated wires."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import polyline_length, serpentine_route
+from repro.geometry import Point, manhattan
+
+coords = st.floats(min_value=-100, max_value=100, allow_nan=False)
+points = st.builds(Point, coords, coords)
+
+
+class TestBasicRoutes:
+    def test_tight_edge_is_l_route(self):
+        route = serpentine_route(Point(0, 0), Point(10, 4), 14.0)
+        assert route[0] == Point(0, 0)
+        assert route[-1] == Point(10, 4)
+        assert len(route) == 3  # a, bend, b
+        assert polyline_length(route) == pytest.approx(14.0)
+
+    def test_straight_edge(self):
+        route = serpentine_route(Point(0, 0), Point(10, 0), 10.0)
+        assert route == [Point(0, 0), Point(10, 0)]
+
+    def test_single_bump(self):
+        route = serpentine_route(Point(0, 0), Point(10, 0), 16.0)
+        assert polyline_length(route) == pytest.approx(16.0)
+        assert route[0] == Point(0, 0)
+        assert route[-1] == Point(10, 0)
+
+    def test_amplitude_cap_multiplies_zags(self):
+        long_zag = serpentine_route(Point(0, 0), Point(10, 0), 30.0)
+        short_zags = serpentine_route(
+            Point(0, 0), Point(10, 0), 30.0, max_amplitude=2.0
+        )
+        assert polyline_length(short_zags) == pytest.approx(30.0)
+        assert len(short_zags) > len(long_zag)
+        # Amplitude respected: no point strays more than 2 from the axis.
+        assert max(abs(p.y) for p in short_zags) <= 2.0 + 1e-9
+
+    def test_coincident_endpoints_loop(self):
+        route = serpentine_route(Point(5, 5), Point(5, 5), 8.0)
+        assert polyline_length(route) == pytest.approx(8.0)
+        assert route[0] == route[-1] == Point(5, 5)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            serpentine_route(Point(0, 0), Point(10, 0), 5.0)
+
+    def test_tiny_lp_noise_absorbed(self):
+        route = serpentine_route(Point(0, 0), Point(10, 0), 10.0 - 1e-8)
+        assert polyline_length(route) == pytest.approx(10.0)
+
+
+class TestProperties:
+    @given(points, points, st.floats(0, 200), st.floats(0.5, 20))
+    @settings(max_examples=150, deadline=None)
+    def test_exact_length_and_endpoints(self, a, b, extra, amp):
+        length = manhattan(a, b) + extra
+        route = serpentine_route(a, b, length, max_amplitude=amp)
+        assert manhattan(route[0], a) <= 1e-9
+        assert manhattan(route[-1], b) <= 1e-9
+        assert polyline_length(route) == pytest.approx(length, abs=1e-6)
+
+    @given(points, points, st.floats(0, 200))
+    @settings(max_examples=100, deadline=None)
+    def test_segments_axis_aligned(self, a, b, extra):
+        route = serpentine_route(a, b, manhattan(a, b) + extra)
+        for p, q in zip(route, route[1:]):
+            assert abs(p.x - q.x) <= 1e-9 or abs(p.y - q.y) <= 1e-9
+
+    @given(points, points)
+    @settings(max_examples=60, deadline=None)
+    def test_no_zero_segments(self, a, b):
+        route = serpentine_route(a, b, manhattan(a, b) + 7.0)
+        for p, q in zip(route, route[1:]):
+            assert manhattan(p, q) > 1e-10
+
+
+class TestEmbeddedTreeIntegration:
+    def test_elongated_tree_realizes_exact_cost(self):
+        """Serpentine geometry over every edge reproduces the LP cost."""
+        from repro.ebf import DelayBounds
+        from repro.embedding import solve_and_embed
+        from repro.topology import nearest_neighbor_topology
+
+        sinks = [Point(0, 0), Point(10, 0)]
+        topo = nearest_neighbor_topology(sinks)
+        sol, tree = solve_and_embed(
+            topo, DelayBounds.uniform(2, 8.0, 9.0), check_bounds=False
+        )
+        total = 0.0
+        for node in range(1, topo.num_nodes):
+            route = serpentine_route(
+                tree.placements[topo.parent(node)],
+                tree.placements[node],
+                float(sol.edge_lengths[node]),
+            )
+            total += polyline_length(route)
+        assert total == pytest.approx(sol.cost)
+
+    def test_svg_uses_serpentines(self):
+        from repro.analysis import tree_to_svg
+        from repro.ebf import DelayBounds
+        from repro.embedding import solve_and_embed
+        from repro.topology import nearest_neighbor_topology
+
+        sinks = [Point(0, 0), Point(10, 0)]
+        topo = nearest_neighbor_topology(sinks)
+        _, tree = solve_and_embed(
+            topo, DelayBounds.uniform(2, 8.0, 9.0), check_bounds=False
+        )
+        svg = tree_to_svg(tree)
+        # Elongated edges now render as multi-vertex paths.
+        elong_paths = [
+            part for part in svg.split("<path") if 'class="elong"' in part
+        ]
+        assert elong_paths
+        assert any(p.count(" L ") >= 3 for p in elong_paths)

@@ -1,0 +1,161 @@
+"""Tests for topology generators, splitting, and validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+from repro.topology import (
+    TopologyError,
+    all_sinks_are_leaves,
+    balanced_bipartition_topology,
+    chain_topology,
+    nearest_neighbor_topology,
+    split_high_degree_steiner,
+    star_topology,
+    validate_topology,
+)
+
+coords = st.integers(min_value=0, max_value=1000)
+point_lists = st.lists(
+    st.builds(Point, st.floats(0, 1000), st.floats(0, 1000)),
+    min_size=1,
+    max_size=40,
+)
+
+
+def grid_points(k):
+    return [Point(i % k, i // k) for i in range(k * k)]
+
+
+class TestNearestNeighbor:
+    def test_single_sink_free_source(self):
+        t = nearest_neighbor_topology([Point(3, 3)])
+        assert t.num_nodes == 2
+        assert t.parent(1) == 0
+
+    def test_single_sink_fixed_source(self):
+        t = nearest_neighbor_topology([Point(3, 3)], source=Point(0, 0))
+        assert t.source_location == Point(0, 0)
+
+    def test_two_sinks_free_source(self):
+        t = nearest_neighbor_topology([Point(0, 0), Point(10, 0)])
+        assert t.num_nodes == 3  # root is the merge node itself
+        assert t.num_steiner == 0
+        assert set(t.children(0)) == {1, 2}
+
+    def test_two_sinks_fixed_source(self):
+        t = nearest_neighbor_topology(
+            [Point(0, 0), Point(10, 0)], source=Point(5, 5)
+        )
+        assert t.num_nodes == 4
+        assert t.num_steiner == 1
+        assert len(t.children(0)) == 1
+
+    def test_merges_closest_pair_first(self):
+        # Points: two close together, one far — the close pair must share
+        # a parent.
+        t = nearest_neighbor_topology(
+            [Point(0, 0), Point(1, 0), Point(100, 100)]
+        )
+        assert t.parent(1) == t.parent(2)
+
+    @given(point_lists, st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_full_binary_all_sinks_leaves(self, pts, with_source):
+        source = Point(500, 500) if with_source else None
+        t = nearest_neighbor_topology(pts, source)
+        assert all_sinks_are_leaves(t)
+        validate_topology(t, require_binary=True)
+        # Full binary: every Steiner node has exactly 2 children.
+        for k in t.steiner_ids():
+            assert len(t.children(k)) == 2
+
+    def test_deterministic(self):
+        pts = grid_points(5)
+        a = nearest_neighbor_topology(pts)
+        b = nearest_neighbor_topology(pts)
+        assert [a.parent(i) for i in range(a.num_nodes)] == [
+            b.parent(i) for i in range(b.num_nodes)
+        ]
+
+    def test_zero_sinks_raises(self):
+        with pytest.raises(ValueError):
+            nearest_neighbor_topology([])
+
+
+class TestBalancedBipartition:
+    @given(point_lists, st.booleans())
+    @settings(max_examples=50, deadline=None)
+    def test_full_binary_all_sinks_leaves(self, pts, with_source):
+        source = Point(500, 500) if with_source else None
+        t = balanced_bipartition_topology(pts, source)
+        assert all_sinks_are_leaves(t)
+        validate_topology(t, require_binary=True)
+
+    def test_balanced_depth(self):
+        pts = grid_points(8)  # 64 sinks
+        t = balanced_bipartition_topology(pts)
+        max_depth = max(t.depth(i) for i in t.sink_ids())
+        assert max_depth == 6  # perfectly balanced over 64 leaves
+
+    def test_zero_sinks_raises(self):
+        with pytest.raises(ValueError):
+            balanced_bipartition_topology([])
+
+
+class TestSplit:
+    def test_star_becomes_binary(self):
+        t = star_topology([Point(i, 0) for i in range(5)], source=Point(0, 5))
+        split, zero_edges = split_high_degree_steiner(t)
+        validate_topology(split, require_binary=False)
+        for k in split.steiner_ids():
+            assert len(split.children(k)) <= 2
+        assert len(split.children(0)) <= 2
+        # Sinks keep their ids and locations.
+        for i in split.sink_ids():
+            assert split.sink_location(i) == t.sink_location(i)
+        # All new edges are flagged zero.
+        assert all(e >= t.num_nodes for e in zero_edges)
+
+    def test_already_binary_unchanged(self):
+        t = nearest_neighbor_topology([Point(0, 0), Point(5, 5), Point(9, 0)])
+        split, zero_edges = split_high_degree_steiner(t)
+        assert zero_edges == frozenset()
+        assert split.num_nodes == t.num_nodes
+
+    def test_split_preserves_sink_leafness(self):
+        t = star_topology([Point(i, i) for i in range(7)], source=Point(0, 0))
+        split, _ = split_high_degree_steiner(t)
+        assert all_sinks_are_leaves(split)
+
+    def test_degree4_splits_once(self):
+        # Root with 3 children (free source: limit 2) -> one split.
+        t = star_topology([Point(0, 0), Point(2, 0), Point(1, 2)])
+        split, zero_edges = split_high_degree_steiner(t)
+        assert len(zero_edges) == 1
+        assert len(split.children(0)) == 2
+
+
+class TestValidate:
+    def test_dangling_steiner_rejected(self):
+        # Node 2 is a Steiner leaf.
+        from repro.topology import Topology
+
+        t = Topology([None, 0, 0], 1, [Point(0, 0)])
+        with pytest.raises(TopologyError):
+            validate_topology(t)
+
+    def test_nonbinary_rejected_when_required(self):
+        t = star_topology([Point(i, 0) for i in range(4)], source=Point(0, 1))
+        validate_topology(t)  # fine without the binary requirement
+        with pytest.raises(TopologyError):
+            validate_topology(t, require_binary=True)
+
+    def test_chain_sinks_not_leaves(self):
+        t = chain_topology([Point(0, 0), Point(1, 0)])
+        assert not all_sinks_are_leaves(t)
+
+    def test_free_root_two_children_ok(self):
+        t = nearest_neighbor_topology([Point(0, 0), Point(4, 4)])
+        validate_topology(t, require_binary=True)
