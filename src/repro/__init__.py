@@ -52,7 +52,13 @@ from repro.baselines import (
     shortest_path_tree,
 )
 from repro.data import load_benchmark, benchmark_names
-from repro.lp import InfeasibleError
+from repro.lp import BackendCapabilityError, InfeasibleError
+from repro.resilience import (
+    InfeasibilityDiagnosis,
+    SolveReport,
+    diagnose_infeasibility,
+    solve_lp_resilient,
+)
 
 __version__ = "1.0.0"
 
@@ -87,5 +93,10 @@ __all__ = [
     "load_benchmark",
     "benchmark_names",
     "InfeasibleError",
+    "BackendCapabilityError",
+    "InfeasibilityDiagnosis",
+    "SolveReport",
+    "diagnose_infeasibility",
+    "solve_lp_resilient",
     "__version__",
 ]

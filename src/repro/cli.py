@@ -3,6 +3,7 @@
 Subcommands map one-to-one onto the experiment drivers:
 
     lubt solve  --bench prim1 --lower 0.9 --upper 1.1 [--sinks 64]
+                [--resilient] [--lp-timeout S] [--diagnose]
     lubt table1 --bench prim1 [--sinks 64]
     lubt table2 --bench prim2 --skew 0.5 [--sinks 64]
     lubt table3 --bench r1 [--sinks 64]
@@ -78,11 +79,32 @@ def _cmd_solve(args) -> int:
     bounds = DelayBounds.uniform(
         len(sinks), args.lower * radius, args.upper * radius
     )
-    sol = solve_lubt(topo, bounds, check_bounds=False)
+    on_infeasible = "relax" if args.diagnose else "raise"
+    try:
+        sol = solve_lubt(
+            topo,
+            bounds,
+            check_bounds=False,
+            resilient=args.resilient,
+            lp_timeout=args.lp_timeout,
+            on_infeasible=on_infeasible,
+        )
+    except Exception as exc:
+        from repro.resilience import AllBackendsFailedError
+
+        if not isinstance(exc, AllBackendsFailedError):
+            raise
+        print("solve failed — every LP backend was exhausted:", file=sys.stderr)
+        print(exc.report.summary(), file=sys.stderr)
+        return 2
+    if sol.diagnosis is not None:
+        _print_diagnosis(sol.diagnosis, radius)
     t = Table(["metric", "value"], title=f"LUBT on {name}")
     t.add_row("sinks", len(sinks))
     t.add_row("radius", radius)
     t.add_row("bounds (normalized)", f"[{args.lower}, {args.upper}]")
+    if sol.diagnosis is not None:
+        t.add_row("bounds relaxed", "yes (see diagnosis above)")
     t.add_row("tree cost", sol.cost)
     t.add_row("shortest delay", sol.shortest_delay / radius)
     t.add_row("longest delay", sol.longest_delay / radius)
@@ -91,8 +113,41 @@ def _cmd_solve(args) -> int:
     t.add_row("Steiner rows used", sol.stats.steiner_rows)
     t.add_row("of possible", sol.stats.total_pairs)
     t.add_row("backend", sol.stats.backend)
+    if args.resilient:
+        t.add_row("LP fallbacks", sol.stats.lp_fallbacks)
     print(t)
+    if sol.diagnosis is not None:
+        # Graceful degradation must end in a routable tree, not just an
+        # LP answer: embed under the relaxed bounds and confirm.
+        from repro.embedding import embed_tree
+
+        tree = embed_tree(topo, sol.edge_lengths)
+        print(
+            f"embedded relaxed tree: {len(tree.placements)} nodes, "
+            f"drawn wirelength {tree.drawn_wirelength:,.1f}"
+        )
     return 0
+
+
+def _print_diagnosis(diag, radius: float) -> None:
+    t = Table(
+        ["sink", "lower/r", "upper/r", "lower -", "upper +"],
+        title="infeasibility diagnosis (minimal bound relaxation)",
+    )
+    for r in diag.conflicting:
+        t.add_row(
+            f"s{r.sink}",
+            r.lower / radius,
+            r.upper / radius,
+            r.lower_relax / radius,
+            r.upper_relax / radius,
+        )
+    print("bounds are infeasible — no LUBT exists (Section 9 certificate)")
+    print(t)
+    print(
+        f"total relaxation {diag.total_slack / radius:.4f} x radius across "
+        f"{len(diag.conflicting)} sink(s); re-solving with relaxed bounds"
+    )
 
 
 def _cmd_table1(args) -> int:
@@ -207,6 +262,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--file",
         default=None,
         help="load sinks from a pin-list/CSV file instead of a surrogate",
+    )
+    p.add_argument(
+        "--resilient",
+        action="store_true",
+        help="solve LPs through the backend fallback chain "
+        "(simplex -> scipy, with retries)",
+    )
+    p.add_argument(
+        "--lp-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt LP wall-clock limit (resilient mode)",
+    )
+    p.add_argument(
+        "--diagnose",
+        action="store_true",
+        help="on infeasible bounds, print the elastic infeasibility "
+        "diagnosis and solve under the minimal relaxation",
     )
     p.set_defaults(func=_cmd_solve)
 

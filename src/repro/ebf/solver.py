@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.delay import sink_delays_linear, tree_cost
-from repro.ebf.bounds import DelayBounds
+from repro.ebf.bounds import BoundsError, DelayBounds
 from repro.ebf.constraints import (
     all_sink_pairs,
     seed_constraint_pairs,
@@ -28,7 +28,7 @@ from repro.ebf.formulation import (
     build_ebf_lp,
     expand_edge_vector,
 )
-from repro.lp import solve_lp
+from repro.lp import InfeasibleError, solve_lp
 
 _VIOLATION_TOL = 1e-6
 
@@ -44,6 +44,8 @@ class SolveStats:
     total_pairs: int
     lp_iterations: int
     wall_seconds: float
+    #: Extra LP attempts (retries + backend switches) under resilient mode.
+    lp_fallbacks: int = 0
 
 
 @dataclass(frozen=True)
@@ -57,6 +59,12 @@ class LubtSolution:
     ``lp``/``lp_result`` are retained when ``solve_lubt(keep_lp=True)``
     so downstream analyses (e.g. delay-bound shadow prices) can read row
     duals without re-solving.
+
+    ``diagnosis`` is set only on the graceful-degradation path
+    (``on_infeasible="relax"``): the original bounds were infeasible and
+    ``bounds`` here are the minimally relaxed ones the diagnosis
+    produced.  ``solve_reports`` (resilient mode) records every LP
+    attempt the fallback chain made, one report per LP solve.
     """
 
     topology: object
@@ -68,6 +76,8 @@ class LubtSolution:
     weights: np.ndarray | None = field(default=None, repr=False)
     lp: object | None = field(default=None, repr=False, compare=False)
     lp_result: object | None = field(default=None, repr=False, compare=False)
+    diagnosis: object | None = field(default=None, repr=False, compare=False)
+    solve_reports: tuple = field(default=(), repr=False, compare=False)
 
     @property
     def skew(self) -> float:
@@ -95,6 +105,9 @@ def solve_lubt(
     check_bounds: bool = True,
     validate: bool = True,
     keep_lp: bool = False,
+    resilient: bool = False,
+    lp_timeout: float | None = None,
+    on_infeasible: str = "raise",
 ) -> LubtSolution:
     """Solve the LUBT problem for a fixed topology (Definition 2.1).
 
@@ -112,42 +125,99 @@ def solve_lubt(
     check_bounds:
         Verify Definition 2.1's Eq. 3/4 validity conditions first.  Turn
         off to probe infeasible bound sets deliberately.
+    resilient:
+        Route every LP through :func:`repro.resilience.solve_lp_resilient`
+        (backend cascade + per-attempt ``lp_timeout`` + rescale retry)
+        instead of a single backend; the per-LP
+        :class:`~repro.resilience.SolveReport` history lands in
+        ``solution.solve_reports``.
+    on_infeasible:
+        ``"raise"`` (default) raises :class:`InfeasibleError` as before;
+        ``"diagnose"`` additionally runs the elastic re-solve and raises
+        with ``err.diagnosis`` populated; ``"relax"`` degrades gracefully
+        — it re-solves under the minimally relaxed bounds and returns
+        that solution with ``solution.diagnosis`` set.
     """
-    if check_bounds:
-        bounds.check(topo)
+    if on_infeasible not in ("raise", "diagnose", "relax"):
+        raise ValueError(f"unknown on_infeasible {on_infeasible!r}")
     if mode not in ("lazy", "full"):
         raise ValueError(f"unknown mode {mode!r}")
 
+    retry_kwargs = dict(
+        weights=weights,
+        zero_edges=zero_edges,
+        backend=backend,
+        mode=mode,
+        batch=batch,
+        max_rounds=max_rounds,
+        validate=validate,
+        keep_lp=keep_lp,
+        resilient=resilient,
+        lp_timeout=lp_timeout,
+    )
+    if check_bounds:
+        try:
+            bounds.check(topo)
+        except BoundsError:
+            # Eq. 3/4 violations are infeasibility certificates known
+            # before any LP; route them through the same handler.
+            if on_infeasible == "raise":
+                raise
+            return _handle_infeasible(topo, bounds, on_infeasible, retry_kwargs)
+
+    reports: list = []
+
+    def _solve(lp):
+        if not resilient:
+            return solve_lp(lp, backend)
+        from repro.resilience import backend_chain, solve_lp_resilient
+
+        report = solve_lp_resilient(
+            lp, backend_chain(lp, backend), timeout=lp_timeout
+        )
+        reports.append(report)
+        return report.result
+
     start = time.perf_counter()
-    if mode == "full":
-        pairs = list(all_sink_pairs(topo))
-        lp = build_ebf_lp(
-            topo, bounds, weights=weights, pairs=pairs, zero_edges=zero_edges
-        )
-        result = solve_lp(lp, backend).require_optimal()
-        e = expand_edge_vector(topo, result.x)
-        rounds, iters = 1, result.iterations
-    else:
-        pairs = seed_constraint_pairs(topo)
-        lp = build_ebf_lp(
-            topo, bounds, weights=weights, pairs=pairs, zero_edges=zero_edges
-        )
-        iters = 0
-        e = None
-        for rounds in range(1, max_rounds + 1):
-            result = solve_lp(lp, backend).require_optimal()
-            iters += result.iterations
-            e = expand_edge_vector(topo, result.x)
-            violated = steiner_violations(topo, e, _VIOLATION_TOL, limit=batch)
-            if not violated:
-                break
-            add_steiner_rows(lp, topo, [(i, j) for i, j, _ in violated])
-            pairs += [(i, j) for i, j, _ in violated]
-        else:
-            raise RuntimeError(
-                f"lazy row generation did not converge in {max_rounds} rounds"
+    try:
+        if mode == "full":
+            pairs = list(all_sink_pairs(topo))
+            lp = build_ebf_lp(
+                topo, bounds, weights=weights, pairs=pairs,
+                zero_edges=zero_edges,
             )
-        assert e is not None
+            result = _solve(lp).require_optimal()
+            e = expand_edge_vector(topo, result.x)
+            rounds, iters = 1, result.iterations
+        else:
+            pairs = seed_constraint_pairs(topo)
+            lp = build_ebf_lp(
+                topo, bounds, weights=weights, pairs=pairs,
+                zero_edges=zero_edges,
+            )
+            iters = 0
+            e = None
+            for rounds in range(1, max_rounds + 1):
+                result = _solve(lp).require_optimal()
+                iters += result.iterations
+                e = expand_edge_vector(topo, result.x)
+                violated = steiner_violations(
+                    topo, e, _VIOLATION_TOL, limit=batch
+                )
+                if not violated:
+                    break
+                add_steiner_rows(lp, topo, [(i, j) for i, j, _ in violated])
+                pairs += [(i, j) for i, j, _ in violated]
+            else:
+                raise RuntimeError(
+                    f"lazy row generation did not converge in "
+                    f"{max_rounds} rounds"
+                )
+            assert e is not None
+    except InfeasibleError:
+        if on_infeasible == "raise":
+            raise
+        return _handle_infeasible(topo, bounds, on_infeasible, retry_kwargs)
 
     wall = time.perf_counter() - start
     delays = sink_delays_linear(topo, e)
@@ -165,6 +235,7 @@ def solve_lubt(
         total_pairs=topo.num_sinks * (topo.num_sinks - 1) // 2,
         lp_iterations=iters,
         wall_seconds=wall,
+        lp_fallbacks=sum(r.fallbacks_used for r in reports),
     )
     return LubtSolution(
         topo,
@@ -176,6 +247,53 @@ def solve_lubt(
         w,
         lp if keep_lp else None,
         result if keep_lp else None,
+        solve_reports=tuple(reports),
+    )
+
+
+def _handle_infeasible(topo, bounds, on_infeasible, retry_kwargs):
+    """Shared ``"diagnose"``/``"relax"`` path: run the elastic re-solve,
+    then either raise with the diagnosis attached or solve under the
+    relaxed bounds."""
+    from repro.resilience import diagnose_infeasibility
+
+    diag = diagnose_infeasibility(
+        topo,
+        bounds,
+        zero_edges=retry_kwargs["zero_edges"],
+        backend=retry_kwargs["backend"],
+        mode=retry_kwargs["mode"],
+        batch=retry_kwargs["batch"],
+        max_rounds=retry_kwargs["max_rounds"],
+        resilient=retry_kwargs["resilient"],
+        timeout=retry_kwargs["lp_timeout"],
+    )
+    if on_infeasible == "diagnose":
+        err = InfeasibleError(
+            "no LUBT exists for these bounds (Section 9 certificate)\n"
+            + diag.summary()
+        )
+        err.diagnosis = diag
+        raise err
+    relaxed = solve_lubt(
+        topo,
+        diag.relaxed_bounds,
+        check_bounds=False,
+        on_infeasible="raise",
+        **retry_kwargs,
+    )
+    return LubtSolution(
+        relaxed.topology,
+        relaxed.bounds,
+        relaxed.edge_lengths,
+        relaxed.cost,
+        relaxed.delays,
+        relaxed.stats,
+        relaxed.weights,
+        relaxed.lp,
+        relaxed.lp_result,
+        diagnosis=diag,
+        solve_reports=relaxed.solve_reports,
     )
 
 

@@ -82,9 +82,27 @@ def solve_and_embed(
     bounds: DelayBounds,
     *,
     policy: str = "nearest",
+    resilient: bool = False,
+    on_infeasible: str = "raise",
     **solve_kwargs,
 ) -> tuple[LubtSolution, EmbeddedTree]:
-    """One-call LUBT: LP solve then placement."""
-    sol = solve_lubt(topo, bounds, **solve_kwargs)
+    """One-call LUBT: LP solve then placement.
+
+    Resilience knobs pass straight through to :func:`solve_lubt`:
+    ``resilient=True`` runs every LP through the backend fallback chain
+    (plus ``lp_timeout=`` for per-attempt wall-clock limits), and
+    ``on_infeasible="relax"`` degrades gracefully — the returned solution
+    carries ``sol.diagnosis`` and the tree is embedded under the
+    minimally relaxed bounds, which stay embeddable because the elastic
+    re-solve keeps the geometric ``path >= dist(source, sink)`` floor
+    hard (see docs/ROBUSTNESS.md).
+    """
+    sol = solve_lubt(
+        topo,
+        bounds,
+        resilient=resilient,
+        on_infeasible=on_infeasible,
+        **solve_kwargs,
+    )
     tree = embed_tree(topo, sol.edge_lengths, policy=policy)
     return sol, tree

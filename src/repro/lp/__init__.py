@@ -16,8 +16,14 @@ independent (optimal vertices may differ), which tests verify.
 """
 
 from repro.lp.model import LinearProgram, Sense
-from repro.lp.result import LpResult, LpStatus, InfeasibleError, UnboundedError
-from repro.lp.solve import solve_lp
+from repro.lp.result import (
+    BackendCapabilityError,
+    InfeasibleError,
+    LpResult,
+    LpStatus,
+    UnboundedError,
+)
+from repro.lp.solve import preferred_backend, solve_lp
 from repro.lp.io import lp_to_string, write_lp_file
 
 __all__ = [
@@ -27,6 +33,8 @@ __all__ = [
     "LpStatus",
     "InfeasibleError",
     "UnboundedError",
+    "BackendCapabilityError",
+    "preferred_backend",
     "solve_lp",
     "lp_to_string",
     "write_lp_file",

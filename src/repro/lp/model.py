@@ -110,7 +110,15 @@ class LinearProgram:
         ``lo == hi`` emits a single equality.
         """
         if lo > hi:
-            raise ValueError(f"range constraint {name!r}: lo {lo} > hi {hi}")
+            if lo - hi <= 1e-9 * max(1.0, abs(lo), abs(hi)):
+                # Inverted only by floating-point noise (e.g. an
+                # interpolated upper bound landing 1 ulp below an exact
+                # lower floor): collapse to equality at the midpoint.
+                lo = hi = 0.5 * (lo + hi)
+            else:
+                raise ValueError(
+                    f"range constraint {name!r}: lo {lo} > hi {hi}"
+                )
         items = list(coeffs.items() if isinstance(coeffs, Mapping) else coeffs)
         if lo == hi and math.isfinite(lo):
             return (self.add_constraint(items, Sense.EQ, lo, name),)

@@ -32,8 +32,11 @@ def solve_scipy(lp: LinearProgram) -> LpResult:
     )
     status = _STATUS_MAP.get(res.status, LpStatus.ERROR)
     iterations = int(getattr(res, "nit", 0) or 0)
+    message = str(getattr(res, "message", "") or "").strip() or None
     if status is not LpStatus.OPTIMAL or res.x is None:
-        return LpResult(status, None, None, iterations, "scipy-highs")
+        return LpResult(
+            status, None, None, iterations, "scipy-highs", message=message
+        )
     duals = _model_row_duals(lp, res, sign)
     return LpResult(
         LpStatus.OPTIMAL,
@@ -42,6 +45,7 @@ def solve_scipy(lp: LinearProgram) -> LpResult:
         iterations,
         "scipy-highs",
         duals,
+        message=message,
     )
 
 

@@ -18,10 +18,16 @@ import math
 import numpy as np
 
 from repro.lp.model import LinearProgram, Sense
-from repro.lp.result import LpResult, LpStatus
+from repro.lp.result import BackendCapabilityError, LpResult, LpStatus
 
 _TOL = 1e-9
 _FEAS_TOL = 1e-7
+
+_STATUS_NOTES = {
+    LpStatus.ERROR: "simplex hit the iteration limit or a phase-1 failure",
+    LpStatus.INFEASIBLE: "phase 1 terminated with positive artificial sum",
+    LpStatus.UNBOUNDED: "entering column has no positive ratio",
+}
 
 
 def solve_simplex(lp: LinearProgram, max_iterations: int = 200_000) -> LpResult:
@@ -31,7 +37,10 @@ def solve_simplex(lp: LinearProgram, max_iterations: int = 200_000) -> LpResult:
     ub = lp.upper_bounds.copy()
 
     if np.any(~np.isfinite(lb)):
-        raise ValueError("simplex backend requires finite lower bounds")
+        raise BackendCapabilityError(
+            "simplex backend requires finite lower bounds "
+            "(standard-form shift x = lb + x'); use the scipy backend"
+        )
 
     fixed = ub - lb <= _TOL
     free_idx = np.flatnonzero(~fixed)
@@ -60,7 +69,10 @@ def solve_simplex(lp: LinearProgram, max_iterations: int = 200_000) -> LpResult:
 
     x_free, status, iters = _two_phase(rows, cost, n_free, max_iterations)
     if status is not LpStatus.OPTIMAL:
-        return LpResult(status, None, None, iters, "simplex")
+        return LpResult(
+            status, None, None, iters, "simplex",
+            message=_STATUS_NOTES.get(status),
+        )
 
     x = lb.copy()
     x[free_idx] += x_free

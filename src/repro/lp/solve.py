@@ -2,27 +2,49 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.lp.model import LinearProgram
-from repro.lp.result import LpResult
+from repro.lp.result import BackendCapabilityError, LpResult
 
 #: Above this many rows the dense tableau simplex becomes wasteful and we
 #: route "auto" to scipy/HiGHS instead.
 _SIMPLEX_ROW_LIMIT = 400
 
 
+def preferred_backend(lp: LinearProgram) -> str:
+    """The backend ``"auto"`` would pick for ``lp``.
+
+    Size decides first; models the tableau simplex cannot represent
+    (non-finite lower bounds) go to scipy regardless.
+    """
+    if lp.num_constraints > _SIMPLEX_ROW_LIMIT:
+        return "scipy"
+    if not np.all(np.isfinite(lp.lower_bounds)):
+        return "scipy"
+    return "simplex"
+
+
 def solve_lp(lp: LinearProgram, backend: str = "auto") -> LpResult:
     """Solve ``lp`` with the requested backend.
 
     ``backend`` is one of ``"auto"`` (size-based choice), ``"simplex"``
-    (the from-scratch solver), or ``"scipy"`` (HiGHS).
+    (the from-scratch solver), or ``"scipy"`` (HiGHS).  The ``"auto"``
+    path never crashes on a capability gap: models the simplex cannot
+    represent are routed (or re-routed, should the pre-check ever miss
+    one) to scipy.  An explicit ``"simplex"`` request on such a model
+    raises :class:`BackendCapabilityError`.
     """
     from repro.lp.scipy_backend import solve_scipy
     from repro.lp.simplex import solve_simplex
 
     if backend == "auto":
-        backend = (
-            "simplex" if lp.num_constraints <= _SIMPLEX_ROW_LIMIT else "scipy"
-        )
+        if preferred_backend(lp) == "scipy":
+            return solve_scipy(lp)
+        try:
+            return solve_simplex(lp)
+        except BackendCapabilityError:
+            return solve_scipy(lp)
     if backend == "simplex":
         return solve_simplex(lp)
     if backend == "scipy":

@@ -1,0 +1,60 @@
+"""Resilient solve pipeline: fallback chain, elastic diagnosis, faults.
+
+Production routing runs sit inside larger timing-closure loops that must
+degrade gracefully, not die on the first solver hiccup.  This package
+hardens the LP -> embed pipeline in three layers:
+
+* :func:`solve_lp_resilient` — a configurable backend cascade
+  (simplex -> scipy/HiGHS by default) with per-attempt wall-clock
+  timeouts, retry-on-numerical-error with input rescaling, result
+  validation (NaN / infeasible "optimal" answers are rejected), and a
+  structured :class:`SolveReport` of every attempt;
+* :func:`diagnose_infeasibility` — when the EBF is infeasible, an
+  elastic re-solve names the conflicting sink bounds and the minimal
+  relaxation per bound (:class:`InfeasibilityDiagnosis`), and hands back
+  relaxed-but-embeddable bounds for graceful degradation;
+* :mod:`repro.resilience.faults` — deterministic fault injection
+  wrappers (exceptions, stalls, NaN solutions, wrong statuses) so the
+  fallback and retry logic is exercisable in CI, not just in outages.
+
+Entry points upstack: ``solve_lubt(..., resilient=True,
+on_infeasible="diagnose"|"relax")`` and the ``lubt solve --resilient
+--diagnose`` CLI flags.  See docs/ROBUSTNESS.md.
+"""
+
+from repro.lp.result import BackendCapabilityError
+from repro.resilience.errors import AllBackendsFailedError, ResilienceError
+from repro.resilience.report import AttemptOutcome, SolveAttempt, SolveReport
+from repro.resilience.fallback import (
+    DEFAULT_CHAIN,
+    backend_chain,
+    default_solvers,
+    rescale_lp,
+    solve_lp_resilient,
+)
+from repro.resilience.elastic import (
+    InfeasibilityDiagnosis,
+    SinkRelaxation,
+    build_elastic_lp,
+    diagnose_infeasibility,
+)
+from repro.resilience import faults
+
+__all__ = [
+    "AllBackendsFailedError",
+    "AttemptOutcome",
+    "BackendCapabilityError",
+    "DEFAULT_CHAIN",
+    "InfeasibilityDiagnosis",
+    "ResilienceError",
+    "SinkRelaxation",
+    "SolveAttempt",
+    "SolveReport",
+    "backend_chain",
+    "build_elastic_lp",
+    "default_solvers",
+    "diagnose_infeasibility",
+    "faults",
+    "rescale_lp",
+    "solve_lp_resilient",
+]

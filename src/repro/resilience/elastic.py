@@ -1,0 +1,253 @@
+"""Elastic re-solve of an infeasible EBF: *which* sink bounds conflict?
+
+Per Section 9 of the paper, an infeasible EBF certifies that no LUBT
+exists for the topology and bounds — but a bare "infeasible" leaves the
+user guessing which of the ``l_i``/``u_i`` windows to move.  This module
+answers that with the classic elastic-programming trick: re-solve the
+LP with a non-negative slack on every delay row
+
+    sum path(s_0, s_i)  + s_l_i  >=  l_i
+    sum path(s_0, s_i)  - s_u_i  <=  u_i
+
+minimizing total slack.  The optimum is the minimal total bound
+relaxation that restores feasibility; per-sink slacks name the
+conflicting sinks and how far each bound must move.
+
+With a fixed source, the geometric floor ``path >= dist(s_0, s_i)``
+stays a *hard* row: no bound relaxation can route a wire shorter than
+the Manhattan distance, so keeping it inelastic makes the relaxed
+bounds embeddable (Theorem 4.1 carries over) instead of merely
+LP-feasible.
+
+Steiner rows are generated lazily (Section 4.6 style) exactly as in the
+primal solve, so the diagnosis scales to the same instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ebf.bounds import DelayBounds
+from repro.ebf.constraints import (
+    all_sink_pairs,
+    seed_constraint_pairs,
+    steiner_violations,
+)
+from repro.ebf.formulation import add_steiner_rows, edge_var
+from repro.geometry import manhattan
+from repro.lp import LinearProgram, Sense, solve_lp
+
+_SLACK_TOL = 1e-7
+_VIOLATION_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class SinkRelaxation:
+    """Minimal bound movement for one sink.
+
+    ``lower_relax`` is how far ``l_i`` must *drop*, ``upper_relax`` how
+    far ``u_i`` must *rise*; zero means that bound is not in conflict.
+    """
+
+    sink: int
+    lower: float
+    upper: float
+    lower_relax: float
+    upper_relax: float
+
+    @property
+    def conflicting(self) -> bool:
+        return self.lower_relax > 0.0 or self.upper_relax > 0.0
+
+    @property
+    def relaxed_lower(self) -> float:
+        return max(0.0, self.lower - self.lower_relax)
+
+    @property
+    def relaxed_upper(self) -> float:
+        return self.upper + self.upper_relax
+
+    def describe(self) -> str:
+        parts = []
+        if self.lower_relax > 0.0:
+            parts.append(
+                f"l={self.lower:g} must drop by {self.lower_relax:g}"
+            )
+        if self.upper_relax > 0.0:
+            parts.append(
+                f"u={self.upper:g} must rise by {self.upper_relax:g}"
+            )
+        return f"sink {self.sink}: " + (", ".join(parts) or "no conflict")
+
+
+@dataclass(frozen=True)
+class InfeasibilityDiagnosis:
+    """Why the EBF was infeasible, and the nearest feasible bound set.
+
+    ``relaxations`` covers every sink (most with zero relaxation);
+    ``relaxed_bounds`` is a valid :class:`DelayBounds` under which the
+    instance is feasible *and embeddable* — re-solving with it is the
+    graceful-degradation path.
+    """
+
+    relaxations: tuple[SinkRelaxation, ...]
+    total_slack: float
+    relaxed_bounds: DelayBounds
+
+    @property
+    def conflicting(self) -> tuple[SinkRelaxation, ...]:
+        return tuple(r for r in self.relaxations if r.conflicting)
+
+    @property
+    def conflicting_sinks(self) -> tuple[int, ...]:
+        return tuple(r.sink for r in self.conflicting)
+
+    def summary(self) -> str:
+        conf = self.conflicting
+        if not conf:
+            return "no conflicting sink bounds found (instance feasible?)"
+        lines = [
+            f"{len(conf)} conflicting sink bound(s), "
+            f"total relaxation {self.total_slack:g}:"
+        ]
+        lines += ["  " + r.describe() for r in conf]
+        return "\n".join(lines)
+
+
+def build_elastic_lp(
+    topo,
+    bounds: DelayBounds,
+    *,
+    pairs=None,
+    zero_edges=(),
+) -> tuple[LinearProgram, dict[int, tuple[int | None, int | None]]]:
+    """The EBF with per-sink slack on the delay rows, min-total-slack
+    objective.  Returns ``(lp, slack_cols)`` with ``slack_cols[i] =
+    (lower_slack_col, upper_slack_col)`` (``None`` where a bound needs
+    no slack: ``l_i = 0`` or ``u_i = inf``).
+
+    Always feasible: edge lengths can stretch to any Steiner/geometric
+    floor, the upper slacks are unbounded, and each lower slack is capped
+    at ``l_i`` (so relaxed lower bounds never go negative).
+    """
+    if bounds.num_sinks != topo.num_sinks:
+        raise ValueError("bounds/sink count mismatch")
+    lp = LinearProgram()
+    for i in range(1, topo.num_nodes):
+        lp.add_variable(f"e{i}")  # cost 0: the objective is slack only
+    for i in zero_edges:
+        lp.fix_variable(edge_var(i), 0.0)
+
+    src = topo.source_location
+    slack_cols: dict[int, tuple[int | None, int | None]] = {}
+    for i in topo.sink_ids():
+        lo, hi = bounds.window(i)
+        coeffs = {edge_var(k): 1.0 for k in topo.path_to_root(i)}
+        if src is not None:
+            lp.add_constraint(
+                coeffs,
+                Sense.GE,
+                manhattan(src, topo.sink_location(i)),
+                name=f"delay{i}.geom",
+            )
+        s_lo = s_hi = None
+        if lo > 0.0:
+            s_lo = lp.add_variable(f"slack_l{i}", cost=1.0, ub=lo)
+            lp.add_constraint(
+                {**coeffs, s_lo: 1.0}, Sense.GE, lo, name=f"delay{i}.lo"
+            )
+        if math.isfinite(hi):
+            s_hi = lp.add_variable(f"slack_u{i}", cost=1.0)
+            lp.add_constraint(
+                {**coeffs, s_hi: -1.0}, Sense.LE, hi, name=f"delay{i}.hi"
+            )
+        slack_cols[i] = (s_lo, s_hi)
+
+    add_steiner_rows(lp, topo, pairs)
+    return lp, slack_cols
+
+
+def diagnose_infeasibility(
+    topo,
+    bounds: DelayBounds,
+    *,
+    zero_edges=(),
+    backend: str = "auto",
+    mode: str = "lazy",
+    batch: int = 4000,
+    max_rounds: int = 60,
+    slack_tol: float = _SLACK_TOL,
+    resilient: bool = False,
+    timeout: float | None = None,
+) -> InfeasibilityDiagnosis:
+    """Solve the elastic EBF and report the minimal per-sink relaxation.
+
+    ``mode``/``batch``/``max_rounds`` mirror :func:`repro.ebf.solve_lubt`
+    (lazy Steiner row generation by default).  With ``resilient=True``
+    the elastic LP itself goes through the backend fallback chain.
+    """
+    if mode not in ("lazy", "full"):
+        raise ValueError(f"unknown mode {mode!r}")
+    pairs = (
+        list(all_sink_pairs(topo))
+        if mode == "full"
+        else list(seed_constraint_pairs(topo))
+    )
+    lp, slack_cols = build_elastic_lp(
+        topo, bounds, pairs=pairs, zero_edges=zero_edges
+    )
+
+    def _solve(model):
+        if resilient:
+            from repro.resilience.fallback import solve_lp_resilient
+
+            return solve_lp_resilient(model, timeout=timeout).result
+        return solve_lp(model, backend)
+
+    n_edges = topo.num_nodes - 1
+    result = None
+    for _ in range(max_rounds):
+        result = _solve(lp).require_optimal()
+        e = np.zeros(topo.num_nodes)
+        e[1:] = np.maximum(result.x[:n_edges], 0.0)
+        violated = steiner_violations(topo, e, _VIOLATION_TOL, limit=batch)
+        if not violated:
+            break
+        add_steiner_rows(lp, topo, [(i, j) for i, j, _ in violated])
+    else:
+        raise RuntimeError(
+            f"elastic row generation did not converge in {max_rounds} rounds"
+        )
+
+    scale = 1.0
+    finite_hi = bounds.upper[np.isfinite(bounds.upper)]
+    if finite_hi.size:
+        scale = max(scale, float(np.abs(finite_hi).max()))
+    scale = max(scale, float(np.abs(bounds.lower).max(initial=0.0)))
+    threshold = slack_tol * scale
+    pad = threshold  # cushion so the relaxed re-solve isn't borderline
+
+    x = result.x
+    new_lo = bounds.lower.copy()
+    new_hi = bounds.upper.copy()
+    relaxations = []
+    total = 0.0
+    for i in topo.sink_ids():
+        lo, hi = bounds.window(i)
+        s_lo_col, s_hi_col = slack_cols[i]
+        sl = float(x[s_lo_col]) if s_lo_col is not None else 0.0
+        su = float(x[s_hi_col]) if s_hi_col is not None else 0.0
+        sl = sl if sl > threshold else 0.0
+        su = su if su > threshold else 0.0
+        total += sl + su
+        relaxations.append(SinkRelaxation(i, lo, hi, sl, su))
+        if sl > 0.0:
+            new_lo[i - 1] = max(0.0, lo - sl - pad)
+        if su > 0.0:
+            new_hi[i - 1] = hi + su + pad
+    return InfeasibilityDiagnosis(
+        tuple(relaxations), total, DelayBounds(new_lo, new_hi)
+    )

@@ -1,0 +1,19 @@
+"""Exception types for the resilient solve pipeline."""
+
+from __future__ import annotations
+
+
+class ResilienceError(RuntimeError):
+    """Base class for pipeline-level (not model-level) failures."""
+
+
+class AllBackendsFailedError(ResilienceError):
+    """Every backend in the fallback chain failed to produce a definitive
+    result.  ``report`` holds the full :class:`~repro.resilience.SolveReport`
+    so callers can see exactly what was tried."""
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(
+            "all LP backends failed:\n" + report.summary()
+        )

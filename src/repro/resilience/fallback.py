@@ -1,0 +1,270 @@
+"""Backend fallback chain: cascade, per-attempt timeouts, rescale retry.
+
+One solver hiccup must not kill a routing run.  :func:`solve_lp_resilient`
+tries a configurable cascade of LP backends; each attempt is bounded by a
+wall-clock timeout, validated (an "optimal" result with NaN entries or an
+infeasible ``x`` counts as a failure, not a success), and recorded in a
+:class:`~repro.resilience.SolveReport`.  Numerical failures earn one
+same-backend retry on a rescaled copy of the model before falling through
+to the next backend.
+
+Timeouts are thread-based: a timed-out backend is abandoned, not killed
+(the stray thread finishes in the background and its result is dropped).
+Process-level isolation is future work — see ROADMAP.md.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import math
+import time
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.lp.model import LinearProgram
+from repro.lp.result import BackendCapabilityError, LpResult, LpStatus
+from repro.lp.solve import preferred_backend
+from repro.resilience.errors import AllBackendsFailedError
+from repro.resilience.report import AttemptOutcome, SolveAttempt, SolveReport
+
+Backend = Callable[[LinearProgram], LpResult]
+
+#: Default cascade order; :func:`backend_chain` rotates the preferred
+#: backend to the front per model.
+DEFAULT_CHAIN = ("simplex", "scipy")
+
+_STATUS_TO_OUTCOME = {
+    LpStatus.OPTIMAL: AttemptOutcome.OPTIMAL,
+    LpStatus.INFEASIBLE: AttemptOutcome.INFEASIBLE,
+    LpStatus.UNBOUNDED: AttemptOutcome.UNBOUNDED,
+    LpStatus.ERROR: AttemptOutcome.ERROR,
+}
+
+
+def default_solvers() -> dict[str, Backend]:
+    """Name -> callable map of the real backends."""
+    from repro.lp.scipy_backend import solve_scipy
+    from repro.lp.simplex import solve_simplex
+
+    return {"simplex": solve_simplex, "scipy": solve_scipy}
+
+
+def backend_chain(lp: LinearProgram, backend: str = "auto") -> tuple[str, ...]:
+    """Cascade order for ``lp``: the requested (or, for ``"auto"``, the
+    size/capability-preferred) backend first, every other default backend
+    after it."""
+    first = preferred_backend(lp) if backend == "auto" else backend
+    return (first, *(b for b in DEFAULT_CHAIN if b != first))
+
+
+def rescale_lp(lp: LinearProgram) -> tuple[LinearProgram, float]:
+    """Copy ``lp`` with rhs and variable bounds divided by the model's
+    magnitude ``s`` (so numbers are O(1)); returns ``(scaled, s)`` with
+    ``x_original = s * x_scaled``.
+
+    Costs are left untouched — scaling every column by the same factor
+    preserves the argmin, and callers recompute the objective on the
+    unscaled solution.
+    """
+    mags = [abs(lp.row(i)[2]) for i in range(lp.num_constraints)]
+    mags += [abs(float(v)) for v in lp.lower_bounds if math.isfinite(v)]
+    mags += [abs(float(v)) for v in lp.upper_bounds if math.isfinite(v)]
+    s = max(mags, default=0.0)
+    if not math.isfinite(s) or s <= 0.0:
+        s = 1.0
+    scaled = LinearProgram(minimize=lp.minimize)
+    lb, ub, costs = lp.lower_bounds, lp.upper_bounds, lp.costs
+    for j in range(lp.num_variables):
+        scaled.add_variable(
+            lp.variable_name(j),
+            cost=float(costs[j]),
+            lb=float(lb[j]) / s,
+            ub=float(ub[j]) / s,
+        )
+    for i in range(lp.num_constraints):
+        coeffs, sense, rhs = lp.row(i)
+        scaled.add_constraint(coeffs, sense, rhs / s, name=lp.row_name(i))
+    return scaled, s
+
+
+def _unscale_result(raw: LpResult, s: float, lp: LinearProgram) -> LpResult:
+    """Map a result on the rescaled model back to original units.
+
+    Duals are dropped rather than risk a unit mix-up; resilient rescale
+    retries are a salvage path, not the dual-reading path.
+    """
+    if raw.status is not LpStatus.OPTIMAL or raw.x is None:
+        return LpResult(
+            raw.status, None, None, raw.iterations, raw.backend,
+            message=raw.message,
+        )
+    x = np.asarray(raw.x, dtype=float) * s
+    return LpResult(
+        LpStatus.OPTIMAL,
+        x,
+        lp.objective_value(x),
+        raw.iterations,
+        raw.backend,
+        duals=None,
+        message=raw.message,
+    )
+
+
+def _call_with_timeout(fn: Backend, lp: LinearProgram, timeout: float | None):
+    if timeout is None:
+        return fn(lp)
+    executor = concurrent.futures.ThreadPoolExecutor(max_workers=1)
+    try:
+        return executor.submit(fn, lp).result(timeout=timeout)
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _validated_outcome(
+    lp: LinearProgram, result: LpResult, feas_tol: float
+) -> str:
+    """Classify a backend's return, distrusting "optimal" claims: the
+    solution must be finite and actually feasible for the model."""
+    outcome = _STATUS_TO_OUTCOME.get(result.status, AttemptOutcome.ERROR)
+    if outcome is not AttemptOutcome.OPTIMAL:
+        return outcome
+    x = result.x
+    if (
+        x is None
+        or len(x) != lp.num_variables
+        or not np.all(np.isfinite(x))
+        or result.objective is None
+        or not math.isfinite(result.objective)
+    ):
+        return AttemptOutcome.INVALID
+    if not lp.is_feasible(np.asarray(x, dtype=float), tol=feas_tol):
+        return AttemptOutcome.INVALID
+    return AttemptOutcome.OPTIMAL
+
+
+def solve_lp_resilient(
+    lp: LinearProgram,
+    backends: Sequence[str] | None = None,
+    *,
+    solvers: Mapping[str, Backend] | None = None,
+    timeout: float | None = None,
+    rescale_retry: bool = True,
+    confirm_infeasible: bool = False,
+    raise_on_failure: bool = True,
+    feasibility_tol: float = 1e-6,
+) -> SolveReport:
+    """Solve ``lp`` through a backend cascade; never die on one backend.
+
+    Parameters
+    ----------
+    backends:
+        Cascade order by name; default :func:`backend_chain` (preferred
+        backend first).
+    solvers:
+        Overrides/extensions of :func:`default_solvers` — this is the
+        seam the fault-injection harness uses.
+    timeout:
+        Per-attempt wall-clock limit in seconds (``None`` = unbounded).
+    rescale_retry:
+        On a numerical failure (``ERROR`` status, invalid "optimal"
+        solution, or a backend exception other than
+        :class:`BackendCapabilityError`), retry the same backend once on
+        a unit-magnitude rescaled copy before falling through.
+    confirm_infeasible:
+        Treat an INFEASIBLE verdict from a non-final backend as suspect
+        and seek a second opinion; a later OPTIMAL overrides it.
+    raise_on_failure:
+        Raise :class:`AllBackendsFailedError` (carrying the report) when
+        no backend produced a definitive result; otherwise return the
+        report with ``result=None``.
+
+    Returns the :class:`SolveReport`; ``report.result`` is the terminal
+    :class:`LpResult`.  Feasibility validation uses ``feasibility_tol``
+    scaled by the model's rhs magnitude.
+    """
+    solver_map = dict(default_solvers())
+    if solvers:
+        solver_map.update(solvers)
+    chain = tuple(backends) if backends is not None else backend_chain(lp)
+    unknown = [b for b in chain if b not in solver_map]
+    if unknown:
+        raise ValueError(f"unknown LP backends in chain: {unknown}")
+
+    rhs_mag = max(
+        (abs(lp.row(i)[2]) for i in range(lp.num_constraints)), default=0.0
+    )
+    feas_tol = feasibility_tol * (1.0 + rhs_mag)
+
+    report = SolveReport()
+    scaled_pair: tuple[LinearProgram, float] | None = None
+    pending_infeasible: LpResult | None = None
+
+    for pos, name in enumerate(chain):
+        rescaled = False
+        while True:
+            if rescaled:
+                if scaled_pair is None:
+                    scaled_pair = rescale_lp(lp)
+                model, s = scaled_pair
+            else:
+                model, s = lp, 1.0
+            start = time.perf_counter()
+            try:
+                raw = _call_with_timeout(solver_map[name], model, timeout)
+            except concurrent.futures.TimeoutError:
+                report.attempts.append(SolveAttempt(
+                    name, AttemptOutcome.TIMEOUT,
+                    time.perf_counter() - start, rescaled,
+                    error=f"exceeded {timeout:g}s wall clock",
+                ))
+                break  # more time, not rescaling, is what a timeout needs
+            except BackendCapabilityError as exc:
+                report.attempts.append(SolveAttempt(
+                    name, AttemptOutcome.EXCEPTION,
+                    time.perf_counter() - start, rescaled, error=str(exc),
+                ))
+                break  # capability gaps are permanent for this backend
+            except Exception as exc:  # noqa: BLE001 — resilience boundary
+                report.attempts.append(SolveAttempt(
+                    name, AttemptOutcome.EXCEPTION,
+                    time.perf_counter() - start, rescaled,
+                    error=f"{type(exc).__name__}: {exc}",
+                ))
+                if rescale_retry and not rescaled:
+                    rescaled = True
+                    continue
+                break
+            elapsed = time.perf_counter() - start
+            result = _unscale_result(raw, s, lp) if rescaled else raw
+            outcome = _validated_outcome(lp, result, feas_tol)
+            report.attempts.append(SolveAttempt(
+                name, outcome, elapsed, rescaled,
+                error=result.message
+                if outcome not in (AttemptOutcome.OPTIMAL,)
+                else None,
+                iterations=result.iterations,
+            ))
+            if outcome in AttemptOutcome.TERMINAL:
+                if (
+                    outcome is AttemptOutcome.INFEASIBLE
+                    and confirm_infeasible
+                    and pos < len(chain) - 1
+                ):
+                    if pending_infeasible is None:
+                        pending_infeasible = result
+                    break  # seek a second opinion
+                report.result = result
+                return report
+            if outcome in AttemptOutcome.NUMERICAL and rescale_retry and not rescaled:
+                rescaled = True
+                continue
+            break
+
+    if pending_infeasible is not None:
+        # Only one backend could weigh in; its verdict stands.
+        report.result = pending_infeasible
+        return report
+    if raise_on_failure:
+        raise AllBackendsFailedError(report)
+    return report

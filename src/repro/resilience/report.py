@@ -1,0 +1,102 @@
+"""Structured records of what the resilient solve pipeline actually did.
+
+Every backend invocation — including ones that crashed, timed out, or
+returned garbage — becomes one :class:`SolveAttempt`; the whole cascade
+becomes a :class:`SolveReport`.  These are plain data so they can be
+logged, asserted on in CI, or rendered in the CLI without re-running
+anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lp.result import LpResult
+
+
+class AttemptOutcome:
+    """String constants for :attr:`SolveAttempt.outcome`.
+
+    The first three mirror terminal :class:`~repro.lp.LpStatus` values;
+    the rest are pipeline-level failure modes the raw backends cannot
+    express.
+    """
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"  # backend returned LpStatus.ERROR
+    EXCEPTION = "exception"  # backend raised
+    TIMEOUT = "timeout"  # per-attempt wall clock exceeded
+    INVALID = "invalid-solution"  # "optimal" with NaN/infeasible x
+
+    #: Outcomes that settle the model's fate — no further attempts needed.
+    TERMINAL = frozenset({OPTIMAL, INFEASIBLE, UNBOUNDED})
+    #: Outcomes worth a same-backend retry after rescaling (numerics).
+    NUMERICAL = frozenset({ERROR, INVALID})
+
+
+@dataclass(frozen=True)
+class SolveAttempt:
+    """One backend invocation inside a resilient solve."""
+
+    backend: str
+    outcome: str
+    wall_seconds: float
+    rescaled: bool = False
+    error: str | None = None
+    iterations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome in AttemptOutcome.TERMINAL
+
+    def describe(self) -> str:
+        tag = f"{self.backend}{' (rescaled)' if self.rescaled else ''}"
+        note = f" — {self.error}" if self.error else ""
+        return f"{tag}: {self.outcome} in {self.wall_seconds:.3f}s{note}"
+
+
+@dataclass
+class SolveReport:
+    """The full history of one resilient LP solve.
+
+    ``result`` is the terminal :class:`LpResult` (optimal, infeasible, or
+    unbounded — all three are definitive answers about the model), or
+    ``None`` when every backend in the chain failed.
+    """
+
+    attempts: list[SolveAttempt] = field(default_factory=list)
+    result: LpResult | None = None
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the chain reached a definitive result."""
+        return self.result is not None
+
+    @property
+    def num_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def backends_tried(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for a in self.attempts:
+            if a.backend not in seen:
+                seen.append(a.backend)
+        return tuple(seen)
+
+    @property
+    def fallbacks_used(self) -> int:
+        """Attempts beyond the first (retries and backend switches)."""
+        return max(0, len(self.attempts) - 1)
+
+    def summary(self) -> str:
+        lines = [a.describe() for a in self.attempts]
+        if self.result is None:
+            lines.append("=> all backends failed")
+        else:
+            lines.append(
+                f"=> {self.result.status.value} via {self.result.backend}"
+            )
+        return "\n".join(lines)

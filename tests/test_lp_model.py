@@ -89,6 +89,17 @@ class TestConstraints:
         with pytest.raises(ValueError):
             lp.add_range_constraint({j: 1.0}, 3.0, 1.0)
 
+    def test_range_inverted_by_rounding_collapses_to_equality(self):
+        # An interpolated upper bound can land 1 ulp under an exact lower
+        # floor (lo=43.0 vs hi=43*(a+(1-a))); that is noise, not an
+        # infeasible range.
+        lp = LinearProgram()
+        j = lp.add_variable()
+        rows = lp.add_range_constraint({j: 1.0}, 43.0, 42.99999999999999)
+        assert len(rows) == 1
+        _, sense, rhs = lp.row(rows[0])
+        assert sense is Sense.EQ and rhs == pytest.approx(43.0)
+
 
 class TestEvaluation:
     def make_lp(self):

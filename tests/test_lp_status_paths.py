@@ -1,0 +1,141 @@
+"""Non-optimal LP status paths across both backends.
+
+Satellite coverage for the resilience PR: infeasible / unbounded / error
+statuses must be classified identically by the simplex and scipy
+backends, ``require_optimal`` must raise the matching typed error with
+the backend's message threaded through, and the ``"auto"`` dispatch must
+never crash on a capability gap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lp import (
+    BackendCapabilityError,
+    InfeasibleError,
+    LinearProgram,
+    LpResult,
+    LpStatus,
+    Sense,
+    UnboundedError,
+    preferred_backend,
+    solve_lp,
+)
+from repro.lp.scipy_backend import solve_scipy
+from repro.lp.simplex import solve_simplex
+
+BACKENDS = ["simplex", "scipy"]
+
+
+def infeasible_lp() -> LinearProgram:
+    """x >= 2 and x <= 1 cannot both hold."""
+    lp = LinearProgram()
+    x = lp.add_variable("x", cost=1.0)
+    lp.add_constraint({x: 1.0}, Sense.GE, 2.0)
+    lp.add_constraint({x: 1.0}, Sense.LE, 1.0)
+    return lp
+
+
+def unbounded_lp() -> LinearProgram:
+    """max x with x >= 0 only — unbounded above."""
+    lp = LinearProgram(minimize=False)
+    x = lp.add_variable("x", cost=1.0)
+    lp.add_constraint({x: 1.0}, Sense.GE, 0.0)
+    return lp
+
+
+def free_variable_lp() -> LinearProgram:
+    """min x, x >= -3, with a free (lb = -inf) variable."""
+    lp = LinearProgram()
+    x = lp.add_variable("x", cost=1.0, lb=-np.inf)
+    lp.add_constraint({x: 1.0}, Sense.GE, -3.0)
+    return lp
+
+
+class TestInfeasibleStatus:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_status_and_typed_error(self, backend):
+        res = solve_lp(infeasible_lp(), backend)
+        assert res.status is LpStatus.INFEASIBLE
+        assert res.x is None and res.objective is None
+        with pytest.raises(InfeasibleError, match="backend="):
+            res.require_optimal()
+
+    def test_scipy_message_threaded(self):
+        res = solve_scipy(infeasible_lp())
+        assert res.status is LpStatus.INFEASIBLE
+        assert res.message  # HiGHS explains itself
+        with pytest.raises(InfeasibleError, match="backend=scipy-highs"):
+            res.require_optimal()
+
+    def test_simplex_message_threaded(self):
+        res = solve_simplex(infeasible_lp())
+        assert res.status is LpStatus.INFEASIBLE
+        assert res.message and "phase 1" in res.message
+
+
+class TestUnboundedStatus:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_status_and_typed_error(self, backend):
+        res = solve_lp(unbounded_lp(), backend)
+        assert res.status is LpStatus.UNBOUNDED
+        with pytest.raises(UnboundedError):
+            res.require_optimal()
+
+
+class TestErrorStatus:
+    def test_simplex_iteration_limit_message(self):
+        lp = LinearProgram()
+        xs = [lp.add_variable(cost=1.0) for _ in range(6)]
+        for k in range(6):
+            lp.add_constraint(
+                {xs[k]: 1.0, xs[(k + 1) % 6]: 0.5}, Sense.GE, float(k + 1)
+            )
+        res = solve_simplex(lp, max_iterations=1)
+        if res.status is LpStatus.ERROR:
+            assert res.message and "iteration limit" in res.message
+            with pytest.raises(RuntimeError, match="iteration limit"):
+                res.require_optimal()
+
+    def test_error_status_raises_runtimeerror(self):
+        res = LpResult(LpStatus.ERROR, None, None, 0, "stub", message="boom")
+        with pytest.raises(RuntimeError, match="boom"):
+            res.require_optimal()
+        # the two specific failures must NOT be raised for ERROR
+        with pytest.raises(RuntimeError) as exc_info:
+            res.require_optimal()
+        assert not isinstance(
+            exc_info.value, (InfeasibleError, UnboundedError)
+        )
+
+
+class TestCapabilityGaps:
+    def test_explicit_simplex_raises_typed(self):
+        with pytest.raises(BackendCapabilityError, match="finite lower"):
+            solve_lp(free_variable_lp(), "simplex")
+
+    def test_auto_falls_back_to_scipy(self):
+        res = solve_lp(free_variable_lp(), "auto")
+        assert res.status is LpStatus.OPTIMAL
+        assert res.backend == "scipy-highs"
+        assert res.objective == pytest.approx(-3.0)
+
+    def test_preferred_backend_detects_free_variables(self):
+        assert preferred_backend(free_variable_lp()) == "scipy"
+        assert preferred_backend(infeasible_lp()) == "simplex"
+
+    def test_capability_error_is_valueerror(self):
+        # pre-existing callers caught ValueError; the typed error must
+        # remain catchable the old way
+        assert issubclass(BackendCapabilityError, ValueError)
+
+
+class TestRequireOptimalPassthrough:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_optimal_returns_self(self, backend):
+        lp = LinearProgram()
+        x = lp.add_variable("x", cost=1.0)
+        lp.add_constraint({x: 1.0}, Sense.GE, 4.0)
+        res = solve_lp(lp, backend)
+        assert res.require_optimal() is res
+        assert res.objective == pytest.approx(4.0)
