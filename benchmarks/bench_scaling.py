@@ -6,6 +6,9 @@ backend scale with sink count?  Produces a table of sink count vs
 constraints used, rounds, and wall time, and benchmarks a mid-size solve.
 """
 
+import json
+from pathlib import Path
+
 import pytest
 from conftest import full_run, load_scaled, save_output
 
@@ -17,6 +20,14 @@ from repro.topology import nearest_neighbor_topology
 
 SIZES_QUICK = (16, 32, 64, 128)
 SIZES_FULL = (16, 32, 64, 128, 256, 603)
+
+#: Committed reference timings, consumed by ``benchmarks/perf_smoke.py``.
+BASELINE_PATH = Path(__file__).parent.parent / "BENCH_scaling.json"
+
+#: Wall seconds on the same protocol *before* the incremental-assembly /
+#: vectorized-row-builder engine (commit b4921d5), best of 3.  Kept so the
+#: speedup the engine bought stays measurable against any later run.
+PRE_ENGINE_SECONDS = {16: 0.0116, 32: 0.1057, 64: 0.1139, 128: 0.9212}
 
 
 def _solve_at(size):
@@ -43,6 +54,7 @@ def test_scaling_table(benchmark):
         title="LUBT scaling on prim2 prefixes (lazy mode, window [0.8, 1.2])",
     )
     fractions = []
+    records = []
     for size in sizes:
         sol = _solve_at(size)
         frac = sol.stats.steiner_rows / max(1, sol.stats.total_pairs)
@@ -56,7 +68,28 @@ def test_scaling_table(benchmark):
             sol.stats.wall_seconds,
             sol.cost,
         )
-    save_output("scaling.txt", t.render())
+        records.append(
+            {
+                "sinks": size,
+                "possible_rows": sol.stats.total_pairs,
+                "rows_used": sol.stats.steiner_rows,
+                "rounds": sol.stats.rounds,
+                "seconds": sol.stats.wall_seconds,
+                "lp_seconds": sol.stats.lp_seconds,
+                "backend": sol.stats.backend,
+                "cost": sol.cost,
+            }
+        )
+    data = {
+        "protocol": "prim2 prefixes, lazy mode, window [0.8, 1.2] x radius",
+        "sizes": records,
+        "pre_engine_seconds": {str(k): v for k, v in PRE_ENGINE_SECONDS.items()},
+    }
+    by_size = {r["sinks"]: r["seconds"] for r in records}
+    if 128 in by_size and by_size[128] > 0:
+        data["speedup_at_128"] = PRE_ENGINE_SECONDS[128] / by_size[128]
+    save_output("scaling.txt", t.render(), data=data)
+    BASELINE_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
     # The fraction of Steiner rows needed must SHRINK as nets grow —
     # the whole point of the Section 4.6 reduction.

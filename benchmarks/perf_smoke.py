@@ -1,0 +1,133 @@
+"""CI perf smoke: catch gross solve-time regressions and pool breakage.
+
+Runs the ``bench_scaling`` protocol (prim2 prefixes, lazy mode, window
+[0.8, 1.2] x radius) at small sizes, compares fresh wall times against
+the committed ``BENCH_scaling.json``, and fails if any size regressed by
+more than ``--factor`` (default 2x — loose enough for CI-runner noise,
+tight enough to catch an accidental return to per-pair row assembly).
+Also proves the process pool end to end: ``solve_many`` with workers
+must reproduce the serial costs bit for bit, and a deliberately hung
+task must come back ``timed_out`` with its worker killed.
+
+No pytest / pytest-benchmark needed — plain stdlib + repro, so the CI
+job installs numpy and scipy only:
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py --sizes 16,32,64 --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.data import load_benchmark
+from repro.ebf import DelayBounds, solve_lubt
+from repro.geometry import manhattan_radius_from
+from repro.perf import SolveTask, run_many, solve_many
+from repro.topology import nearest_neighbor_topology
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def _instance(size: int) -> SolveTask:
+    bench = load_benchmark("prim2").scaled(size)
+    sinks = list(bench.sinks)
+    topo = nearest_neighbor_topology(sinks, bench.source)
+    radius = manhattan_radius_from(bench.source, sinks)
+    bounds = DelayBounds.uniform(size, 0.8 * radius, 1.2 * radius)
+    return SolveTask(topo, bounds, {"check_bounds": False})
+
+
+def _best_of(task: SolveTask, repeats: int) -> tuple[float, object]:
+    best, sol = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        sol = solve_lubt(task.topo, task.bounds, **dict(task.options))
+        best = min(best, time.perf_counter() - t0)
+    return best, sol
+
+
+def check_timings(sizes, baseline_path: Path, factor: float, repeats: int) -> list[str]:
+    baseline = json.loads(baseline_path.read_text())
+    committed = {r["sinks"]: r for r in baseline["sizes"]}
+    failures = []
+    print(f"{'sinks':>6} {'committed':>10} {'fresh':>10} {'ratio':>7}  verdict")
+    for size in sizes:
+        if size not in committed:
+            failures.append(f"size {size} missing from {baseline_path.name}")
+            continue
+        ref = committed[size]
+        fresh, sol = _best_of(_instance(size), repeats)
+        if abs(sol.cost - ref["cost"]) > 1e-6 * max(1.0, ref["cost"]):
+            failures.append(
+                f"size {size}: cost drifted {ref['cost']:.6f} -> {sol.cost:.6f}"
+            )
+        ratio = fresh / ref["seconds"] if ref["seconds"] > 0 else float("inf")
+        verdict = "ok" if ratio <= factor else f"REGRESSED (> {factor:g}x)"
+        print(
+            f"{size:>6} {ref['seconds']:>10.4f} {fresh:>10.4f} "
+            f"{ratio:>6.2f}x  {verdict}"
+        )
+        if ratio > factor:
+            failures.append(
+                f"size {size}: {fresh:.4f}s vs committed "
+                f"{ref['seconds']:.4f}s ({ratio:.2f}x > {factor:g}x)"
+            )
+    return failures
+
+
+def check_pool(sizes, jobs: int) -> list[str]:
+    failures = []
+    tasks = [_instance(s) for s in sizes]
+    serial = [o.unwrap() for o in solve_many(tasks, jobs=1)]
+    pooled = [o.unwrap() for o in solve_many(tasks, jobs=jobs)]
+    for size, s, p in zip(sizes, serial, pooled):
+        if s.cost != p.cost or (s.edge_lengths != p.edge_lengths).any():
+            failures.append(f"size {size}: jobs={jobs} result differs from serial")
+    print(f"pool equivalence (jobs={jobs}): "
+          + ("FAILED" if failures else f"identical on sizes {list(sizes)}"))
+
+    t0 = time.perf_counter()
+    outcomes = run_many(time.sleep, [(60,)], jobs=jobs, timeout=1.0)
+    elapsed = time.perf_counter() - t0
+    if not outcomes[0].timed_out:
+        failures.append("hung task did not report timed_out")
+    if elapsed > 10.0:
+        failures.append(f"timeout kill took {elapsed:.1f}s — worker not killed?")
+    print(f"timeout kill: {'FAILED' if not outcomes[0].timed_out else 'ok'} "
+          f"({elapsed:.2f}s for a 60s task under a 1s limit)")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--sizes", default="16,32,64",
+                    help="comma-separated sink counts (default 16,32,64)")
+    ap.add_argument("--jobs", type=int, default=2,
+                    help="worker count for the pool equivalence check")
+    ap.add_argument("--baseline", type=Path,
+                    default=REPO_ROOT / "BENCH_scaling.json")
+    ap.add_argument("--factor", type=float, default=2.0,
+                    help="fail when fresh/committed exceeds this (default 2.0)")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="best-of-N timing repeats (default 3)")
+    args = ap.parse_args(argv)
+    sizes = [int(s) for s in args.sizes.split(",")]
+
+    failures = check_timings(sizes, args.baseline, args.factor, args.repeats)
+    failures += check_pool(sizes, args.jobs)
+
+    if failures:
+        print("\nperf smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,14 +4,16 @@ Subcommands map one-to-one onto the experiment drivers:
 
     lubt solve  --bench prim1 --lower 0.9 --upper 1.1 [--sinks 64]
                 [--resilient] [--lp-timeout S] [--diagnose]
-    lubt table1 --bench prim1 [--sinks 64]
-    lubt table2 --bench prim2 --skew 0.5 [--sinks 64]
-    lubt table3 --bench r1 [--sinks 64]
-    lubt fig8   --bench prim2 [--sinks 64] [--plot]
+    lubt table1 --bench prim1 [--sinks 64] [--jobs N]
+    lubt table2 --bench prim2 --skew 0.5 [--sinks 64] [--jobs N]
+    lubt table3 --bench r1 [--sinks 64] [--jobs N]
+    lubt fig8   --bench prim2 [--sinks 64] [--plot] [--jobs N]
     lubt benchmarks
 
 ``--sinks`` runs the benchmark's scaled view (first N sinks); omit it for
-the full paper-scale net.
+the full paper-scale net.  ``--jobs N`` solves the independent rows of a
+table across N worker processes (see :mod:`repro.perf`); the rendered
+output is identical to the serial run.
 """
 
 from __future__ import annotations
@@ -48,6 +50,17 @@ def _bench_arg(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="use only the first N sinks (default: full size)",
+    )
+
+
+def _jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="solve independent rows across N worker processes "
+        "(default: 1, serial; output is identical either way)",
     )
 
 
@@ -151,22 +164,22 @@ def _print_diagnosis(diag, radius: float) -> None:
 
 
 def _cmd_table1(args) -> int:
-    print(render_table1(run_table1(_load(args))))
+    print(render_table1(run_table1(_load(args), jobs=args.jobs)))
     return 0
 
 
 def _cmd_table2(args) -> int:
-    print(render_table2(run_table2(_load(args), args.skew)))
+    print(render_table2(run_table2(_load(args), args.skew, jobs=args.jobs)))
     return 0
 
 
 def _cmd_table3(args) -> int:
-    print(render_table3(run_table3(_load(args))))
+    print(render_table3(run_table3(_load(args), jobs=args.jobs)))
     return 0
 
 
 def _cmd_fig8(args) -> int:
-    points = run_fig8(_load(args))
+    points = run_fig8(_load(args), jobs=args.jobs)
     print(render_fig8(points))
     if args.plot:
         from repro.experiments.fig8 import ascii_plot
@@ -286,19 +299,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table1", help="reproduce Table 1 for one benchmark")
     _bench_arg(p)
+    _jobs_arg(p)
     p.set_defaults(func=_cmd_table1)
 
     p = sub.add_parser("table2", help="reproduce Table 2 for one benchmark")
     _bench_arg(p)
+    _jobs_arg(p)
     p.add_argument("--skew", type=float, default=0.5, help="skew bound / radius")
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("table3", help="reproduce Table 3 for one benchmark")
     _bench_arg(p)
+    _jobs_arg(p)
     p.set_defaults(func=_cmd_table3)
 
     p = sub.add_parser("fig8", help="reproduce the Figure 8 tradeoff sweep")
     _bench_arg(p)
+    _jobs_arg(p)
     p.add_argument("--plot", action="store_true", help="also print an ASCII plot")
     p.set_defaults(func=_cmd_fig8)
 

@@ -20,6 +20,7 @@ Public entry points:
 from repro.ebf.bounds import DelayBounds, BoundsError
 from repro.ebf.constraints import (
     steiner_constraint_rows,
+    steiner_row_matrix,
     steiner_violations,
     seed_constraint_pairs,
     sink_pair_count,
@@ -33,6 +34,7 @@ __all__ = [
     "DelayBounds",
     "BoundsError",
     "steiner_constraint_rows",
+    "steiner_row_matrix",
     "steiner_violations",
     "seed_constraint_pairs",
     "sink_pair_count",

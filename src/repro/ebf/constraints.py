@@ -76,14 +76,41 @@ def steiner_constraint_rows(
 
 
 def _sink_uv(topo: Topology) -> tuple[np.ndarray, np.ndarray]:
-    """Rotated sink coordinates indexed by *node id* (non-sinks zeroed)."""
-    su = np.zeros(topo.num_nodes)
-    sv = np.zeros(topo.num_nodes)
-    for i in topo.sink_ids():
-        p = topo.sink_location(i)
-        su[i] = p.u
-        sv[i] = p.v
-    return su, sv
+    """Rotated sink coordinates indexed by *node id* (non-sinks zeroed);
+    memoized on the topology."""
+    return topo.sink_uv()
+
+
+def steiner_row_matrix(
+    topo: Topology, pairs: Sequence[tuple]
+) -> tuple[object, np.ndarray]:
+    """Vectorized Steiner-row assembly for a batch of sink pairs.
+
+    ``pairs`` holds ``(i, j)`` or ``(i, j, lca)`` tuples (the violation
+    scan already knows each pair's LCA; pairs without one fall back to
+    the O(log n) lifted-ancestor query).  Returns ``(block, dist)``:
+    ``block`` is a CSR matrix over *node-id* columns (column ``e`` = edge
+    ``e``, column 0 empty) with one row per pair, derived from the
+    memoized root-path incidence as
+
+        row(i, j) = inc[i] + inc[j] - 2 * inc[lca(i, j)]
+
+    so no per-pair ``path_between`` walk happens; ``dist`` is the
+    Manhattan distance (paper rhs) per pair.
+    """
+    inc = topo.root_path_incidence()
+    ii = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+    jj = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+    kk = np.fromiter(
+        (p[2] if len(p) > 2 else topo.lca(p[0], p[1]) for p in pairs),
+        dtype=np.int64,
+        count=len(pairs),
+    )
+    block = inc[ii] + inc[jj] - 2.0 * inc[kk]
+    block.eliminate_zeros()  # the shared root prefix cancels to exact 0.0
+    su, sv = topo.sink_uv()
+    dist = np.maximum(np.abs(su[ii] - su[jj]), np.abs(sv[ii] - sv[jj]))
+    return block, dist
 
 
 def seed_constraint_pairs(topo: Topology) -> list[tuple[int, int]]:
@@ -126,16 +153,20 @@ def steiner_violations(
     edge_lengths: np.ndarray,
     tol: float = 1e-7,
     limit: int | None = None,
-) -> list[tuple[int, int, float]]:
+    with_lca: bool = False,
+) -> list[tuple]:
     """All sink pairs whose Steiner constraint is violated by more than
     ``tol``, as ``(i, j, violation)`` sorted by decreasing violation.
 
     ``limit`` caps the returned count (the most-violated rows are kept),
     which is what the lazy solver uses for batched row generation.
+    ``with_lca=True`` returns ``(i, j, lca, violation)`` instead — the
+    scan knows each pair's LCA already, and handing it to
+    :func:`steiner_row_matrix` skips the per-pair ancestor query.
     """
     d = node_delays_linear(topo, edge_lengths)
     su, sv = _sink_uv(topo)
-    out: list[tuple[int, int, float]] = []
+    out: list[tuple] = []
     for k, groups in _lca_groups(topo):
         arrays = [np.asarray(g) for g in groups]
         for a, b in itertools.combinations(arrays, 2):
@@ -147,8 +178,11 @@ def steiner_violations(
             viol = dist - pathsum
             ia, ib = np.nonzero(viol > tol)
             for x, y in zip(ia, ib):
-                out.append((int(a[x]), int(b[y]), float(viol[x, y])))
-    out.sort(key=lambda t: -t[2])
+                if with_lca:
+                    out.append((int(a[x]), int(b[y]), k, float(viol[x, y])))
+                else:
+                    out.append((int(a[x]), int(b[y]), float(viol[x, y])))
+    out.sort(key=lambda t: -t[-1])
     if limit is not None:
         out = out[:limit]
     return out

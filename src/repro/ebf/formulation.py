@@ -23,7 +23,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.ebf.bounds import DelayBounds
-from repro.ebf.constraints import steiner_constraint_rows
+from repro.ebf.constraints import all_sink_pairs, steiner_row_matrix
 from repro.geometry import manhattan
 from repro.lp import LinearProgram, Sense
 from repro.topology import Topology
@@ -89,17 +89,26 @@ def add_delay_rows(lp: LinearProgram, topo: Topology, bounds: DelayBounds) -> No
 def add_steiner_rows(
     lp: LinearProgram,
     topo: Topology,
-    pairs: Sequence[tuple[int, int]] | None,
+    pairs: Sequence[tuple] | None,
 ) -> list[int]:
     """Append Steiner rows for ``pairs`` (all sink pairs when ``None``);
-    returns the new row indices."""
-    rows = []
-    for i, j, edges, d in steiner_constraint_rows(topo, pairs):
-        coeffs = {edge_var(k): 1.0 for k in edges}
-        rows.append(
-            lp.add_constraint(coeffs, Sense.GE, d, name=f"steiner{i},{j}")
-        )
-    return rows
+    returns the new row indices.
+
+    ``pairs`` entries are ``(i, j)`` or ``(i, j, lca)``.  Rows are built
+    in one vectorized pass (:func:`steiner_row_matrix`) and appended as a
+    CSR block — no per-pair path walk or per-row tuple construction.
+    """
+    if pairs is None:
+        pairs = list(all_sink_pairs(topo))
+    if not pairs:
+        return []
+    block, dist = steiner_row_matrix(topo, pairs)
+    # Node-id columns -> LP columns (edge e_i lives in column i - 1).
+    sub = block[:, 1:]
+    names = [f"steiner{p[0]},{p[1]}" for p in pairs]
+    return list(
+        lp.add_rows(sub.data, sub.indices, sub.indptr, Sense.GE, dist, names)
+    )
 
 
 def expand_edge_vector(topo: Topology, x: np.ndarray) -> np.ndarray:

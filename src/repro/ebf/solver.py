@@ -29,6 +29,7 @@ from repro.ebf.formulation import (
     expand_edge_vector,
 )
 from repro.lp import InfeasibleError, solve_lp
+from repro.lp.solve import preferred_backend
 
 _VIOLATION_TOL = 1e-6
 
@@ -46,6 +47,14 @@ class SolveStats:
     wall_seconds: float
     #: Extra LP attempts (retries + backend switches) under resilient mode.
     lp_fallbacks: int = 0
+    #: Wall-clock spent inside LP backends, total and per lazy round.
+    lp_seconds: float = 0.0
+    round_lp_seconds: tuple[float, ...] = ()
+
+    @property
+    def assembly_seconds(self) -> float:
+        """Non-LP time: row generation, violation scans, bookkeeping."""
+        return max(0.0, self.wall_seconds - self.lp_seconds)
 
 
 @dataclass(frozen=True)
@@ -166,17 +175,22 @@ def solve_lubt(
             return _handle_infeasible(topo, bounds, on_infeasible, retry_kwargs)
 
     reports: list = []
+    round_lp_seconds: list[float] = []
 
-    def _solve(lp):
-        if not resilient:
-            return solve_lp(lp, backend)
-        from repro.resilience import backend_chain, solve_lp_resilient
+    def _solve(lp, resolved):
+        t0 = time.perf_counter()
+        try:
+            if not resilient:
+                return solve_lp(lp, resolved)
+            from repro.resilience import backend_chain, solve_lp_resilient
 
-        report = solve_lp_resilient(
-            lp, backend_chain(lp, backend), timeout=lp_timeout
-        )
-        reports.append(report)
-        return report.result
+            report = solve_lp_resilient(
+                lp, backend_chain(lp, resolved), timeout=lp_timeout
+            )
+            reports.append(report)
+            return report.result
+        finally:
+            round_lp_seconds.append(time.perf_counter() - t0)
 
     start = time.perf_counter()
     try:
@@ -186,7 +200,7 @@ def solve_lubt(
                 topo, bounds, weights=weights, pairs=pairs,
                 zero_edges=zero_edges,
             )
-            result = _solve(lp).require_optimal()
+            result = _solve(lp, backend).require_optimal()
             e = expand_edge_vector(topo, result.x)
             rounds, iters = 1, result.iterations
         else:
@@ -195,19 +209,45 @@ def solve_lubt(
                 topo, bounds, weights=weights, pairs=pairs,
                 zero_edges=zero_edges,
             )
+            total_pairs = topo.num_sinks * (topo.num_sinks - 1) // 2
+            # Resolve "auto" once, against the row count the lazy loop is
+            # heading toward, and stick with it: re-deciding per round
+            # wastes a dense-tableau solve on the small seed LP only to
+            # hand the grown model to scipy next round anyway.
+            resolved = backend
+            if backend == "auto":
+                projected = lp.num_constraints + min(
+                    batch, max(0, total_pairs - len(pairs))
+                )
+                resolved = preferred_backend(lp, projected_rows=projected)
+            # Already-added pairs, orientation-normalized: violation
+            # tolerance jitter must not append duplicate Steiner rows.
+            seen = {(i, j) if i < j else (j, i) for i, j in pairs}
             iters = 0
             e = None
             for rounds in range(1, max_rounds + 1):
-                result = _solve(lp).require_optimal()
+                result = _solve(lp, resolved).require_optimal()
                 iters += result.iterations
                 e = expand_edge_vector(topo, result.x)
                 violated = steiner_violations(
-                    topo, e, _VIOLATION_TOL, limit=batch
+                    topo, e, _VIOLATION_TOL, limit=batch, with_lca=True
                 )
-                if not violated:
+                fresh = [
+                    (i, j, k)
+                    for i, j, k, _ in violated
+                    if ((i, j) if i < j else (j, i)) not in seen
+                ]
+                if not fresh:
+                    # Either no violations, or every violated pair is
+                    # already a row (sub-tolerance LP slack); re-adding
+                    # identical rows cannot change the optimum, and the
+                    # exact post-validation still guards the result.
                     break
-                add_steiner_rows(lp, topo, [(i, j) for i, j, _ in violated])
-                pairs += [(i, j) for i, j, _ in violated]
+                add_steiner_rows(lp, topo, fresh)
+                seen.update(
+                    (i, j) if i < j else (j, i) for i, j, _ in fresh
+                )
+                pairs += [(i, j) for i, j, _ in fresh]
             else:
                 raise RuntimeError(
                     f"lazy row generation did not converge in "
@@ -236,6 +276,8 @@ def solve_lubt(
         lp_iterations=iters,
         wall_seconds=wall,
         lp_fallbacks=sum(r.fallbacks_used for r in reports),
+        lp_seconds=sum(round_lp_seconds),
+        round_lp_seconds=tuple(round_lp_seconds),
     )
     return LubtSolution(
         topo,

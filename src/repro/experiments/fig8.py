@@ -17,6 +17,7 @@ from repro.analysis.tables import Table
 from repro.data import Benchmark
 from repro.ebf import DelayBounds, solve_lubt
 from repro.geometry import manhattan_radius_from
+from repro.perf import map_many
 from repro.topology import nearest_neighbor_topology
 
 #: Window widths (skew budgets) and lower-bound sweep, normalized.
@@ -33,30 +34,37 @@ class Fig8Point:
     cost: float
 
 
+def _fig8_point_at(bench: Benchmark, topo, radius, w, lo, backend) -> Fig8Point:
+    """One sweep point (module-level so it pickles).  The window is
+    ``[l, max(l + w, 1)]`` so every point is feasible (Eq. 3 needs
+    u >= 1 in radius units)."""
+    hi = max(lo + w, 1.0)
+    bounds = DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
+    sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
+    return Fig8Point(bench.name, w, lo, hi, sol.cost)
+
+
 def run_fig8(
     bench: Benchmark,
     widths=DEFAULT_WIDTHS,
     lowers=DEFAULT_LOWERS,
     backend: str = "auto",
+    jobs: int = 1,
 ) -> list[Fig8Point]:
-    """The tradeoff sweep.  Windows are ``[l, max(l + w, 1)]`` so every
-    point is feasible (Eq. 3 needs u >= 1 in radius units)."""
+    """The tradeoff sweep.  ``jobs > 1`` solves the points in worker
+    processes; the shape checks run on the gathered series either way."""
     sinks = list(bench.sinks)
     radius = manhattan_radius_from(bench.source, sinks)
     topo = nearest_neighbor_topology(sinks, bench.source)
 
-    points: list[Fig8Point] = []
-    for w in widths:
-        series: list[Fig8Point] = []
-        for lo in lowers:
-            hi = max(lo + w, 1.0)
-            bounds = DelayBounds.uniform(
-                bench.num_sinks, lo * radius, hi * radius
-            )
-            sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
-            series.append(Fig8Point(bench.name, w, lo, hi, sol.cost))
-        _check_series(series)
-        points.extend(series)
+    grid = [(w, lo) for w in widths for lo in lowers]
+    points = map_many(
+        _fig8_point_at,
+        [(bench, topo, radius, w, lo, backend) for w, lo in grid],
+        jobs=jobs,
+    )
+    for start in range(0, len(points), len(lowers)):
+        _check_series(points[start : start + len(lowers)])
     _check_across_widths(points)
     return points
 

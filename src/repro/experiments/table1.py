@@ -18,6 +18,7 @@ from repro.baselines import bounded_skew_tree
 from repro.data import Benchmark
 from repro.ebf import DelayBounds, solve_lubt
 from repro.geometry import manhattan_radius_from
+from repro.perf import map_many
 
 #: The paper's skew-bound column (normalized to the radius).
 PAPER_SKEW_BOUNDS = (0.0, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, math.inf)
@@ -73,14 +74,20 @@ def run_table1(
     bench: Benchmark,
     skew_bounds=PAPER_SKEW_BOUNDS,
     backend: str = "auto",
+    jobs: int = 1,
 ) -> list[Table1Row]:
     """All rows of Table 1 for one benchmark, with shape checks.
 
     Checks (DESIGN.md acceptance criteria): LUBT <= baseline on every row,
     and the skew-0 row is the most expensive LUBT row (cost falls —
     weakly, modulo topology changes across bounds — toward skew = inf).
+
+    ``jobs > 1`` solves the rows in worker processes; row order and
+    values are identical to the serial run.
     """
-    rows = [run_table1_row(bench, s, backend) for s in skew_bounds]
+    rows = map_many(
+        run_table1_row, [(bench, s, backend) for s in skew_bounds], jobs=jobs
+    )
     zero_rows = [r for r in rows if r.skew_bound == 0.0]
     inf_rows = [r for r in rows if math.isinf(r.skew_bound)]
     if zero_rows and inf_rows:

@@ -18,6 +18,7 @@ from repro.baselines import bounded_skew_tree
 from repro.data import Benchmark
 from repro.ebf import DelayBounds, solve_lubt
 from repro.geometry import manhattan_radius_from
+from repro.perf import map_many
 
 #: The paper's window grids (lower-bound offsets, normalized).
 PAPER_WINDOWS = {
@@ -36,13 +37,27 @@ class Table2Row:
     from_baseline: bool  # the paper's '*' marker
 
 
+def _table2_window_row(
+    bench: Benchmark, topo, radius, skew_bound, lo, hi, starred, backend
+) -> Table2Row:
+    """One window of a Table 2 block (module-level so it pickles)."""
+    bounds = DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
+    sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
+    return Table2Row(bench.name, skew_bound, lo, hi, sol.cost, starred)
+
+
 def run_table2(
     bench: Benchmark,
     skew_bound: float,
     lower_offsets=None,
     backend: str = "auto",
+    jobs: int = 1,
 ) -> list[Table2Row]:
-    """All windows for one (benchmark, skew bound) block of Table 2."""
+    """All windows for one (benchmark, skew bound) block of Table 2.
+
+    ``jobs > 1`` solves the windows in worker processes; the baseline
+    tree (which fixes the topology) is built once up front either way.
+    """
     sinks = list(bench.sinks)
     radius = manhattan_radius_from(bench.source, sinks)
     base = bounded_skew_tree(sinks, skew_bound * radius, bench.source, verify=False)
@@ -62,14 +77,16 @@ def run_table2(
     )
     windows.sort()
 
-    rows = []
-    for lo, hi, starred in windows:
-        bounds = DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
-        sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
-        rows.append(
-            Table2Row(bench.name, skew_bound, lo, hi, sol.cost, starred)
-        )
-        if starred and sol.cost > base.cost + 1e-6 * max(1.0, base.cost):
+    rows = map_many(
+        _table2_window_row,
+        [
+            (bench, topo, radius, skew_bound, lo, hi, starred, backend)
+            for lo, hi, starred in windows
+        ],
+        jobs=jobs,
+    )
+    for row in rows:
+        if row.from_baseline and row.cost > base.cost + 1e-6 * max(1.0, base.cost):
             raise AssertionError(
                 "LUBT at the baseline's own window exceeds the baseline cost"
             )

@@ -21,6 +21,7 @@ from repro.analysis.tables import Table
 from repro.data import Benchmark
 from repro.ebf import DelayBounds, solve_lubt
 from repro.geometry import manhattan_radius_from
+from repro.perf import map_many
 from repro.topology import nearest_neighbor_topology
 
 #: The paper's (lower, upper) combinations, normalized to the radius.
@@ -44,21 +45,30 @@ class Table3Row:
     cost: float
 
 
+def _table3_combo_row(
+    bench: Benchmark, topo, radius, lo, hi, backend
+) -> Table3Row:
+    """One bound combination of Table 3 (module-level so it pickles)."""
+    bounds = DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
+    sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
+    return Table3Row(bench.name, lo, hi, sol.cost)
+
+
 def run_table3(
     bench: Benchmark,
     combos=PAPER_BOUND_COMBOS,
     backend: str = "auto",
+    jobs: int = 1,
 ) -> list[Table3Row]:
     sinks = list(bench.sinks)
     radius = manhattan_radius_from(bench.source, sinks)
     topo = nearest_neighbor_topology(sinks, bench.source)
 
-    rows = []
-    for lo, hi in combos:
-        bounds = DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
-        sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
-        rows.append(Table3Row(bench.name, lo, hi, sol.cost))
-
+    rows = map_many(
+        _table3_combo_row,
+        [(bench, topo, radius, lo, hi, backend) for lo, hi in combos],
+        jobs=jobs,
+    )
     _check_shapes(rows)
     return rows
 

@@ -12,13 +12,21 @@ from repro.lp.result import BackendCapabilityError, LpResult
 _SIMPLEX_ROW_LIMIT = 400
 
 
-def preferred_backend(lp: LinearProgram) -> str:
+def preferred_backend(lp: LinearProgram, projected_rows: int | None = None) -> str:
     """The backend ``"auto"`` would pick for ``lp``.
 
     Size decides first; models the tableau simplex cannot represent
-    (non-finite lower bounds) go to scipy regardless.
+    (non-finite lower bounds) go to scipy regardless.  ``projected_rows``
+    lets a caller that *knows* the model is about to grow (lazy row
+    generation) resolve the choice against the anticipated size instead
+    of the current one, so the whole cutting-plane loop sticks to one
+    backend rather than paying a dense-tableau solve on the small first
+    round and switching afterwards.
     """
-    if lp.num_constraints > _SIMPLEX_ROW_LIMIT:
+    rows = lp.num_constraints
+    if projected_rows is not None:
+        rows = max(rows, projected_rows)
+    if rows > _SIMPLEX_ROW_LIMIT:
         return "scipy"
     if not np.all(np.isfinite(lp.lower_bounds)):
         return "scipy"

@@ -1,0 +1,32 @@
+"""Performance layer: process-pool batch solving with hard timeouts.
+
+The experiment tables solve dozens of independent LUBT instances; this
+package runs them across worker *processes* (``--jobs N`` on the CLI).
+Unlike the thread-based timeouts in :mod:`repro.resilience`, a timed-out
+worker here is **killed**, not abandoned — a pathological LP cannot leave
+a runaway solve burning CPU (the ROADMAP "process-level solve timeouts"
+item).
+
+* :func:`run_many` — generic ordered fan-out of a picklable function
+  over argument tuples with per-task kill-on-timeout;
+* :func:`solve_many` — batch :func:`repro.ebf.solve_lubt` over
+  :class:`SolveTask` instances;
+* :class:`TaskOutcome` — per-task result/error/timeout record.
+
+Serial (``jobs=1``, no timeout) execution runs inline in the parent
+process and is bit-for-bit identical to calling the function in a loop;
+parallel runs execute the same code in workers, so tables rendered from
+either path match exactly.
+"""
+
+from repro.perf.pool import TaskError, TaskOutcome, map_many, run_many
+from repro.perf.batch import SolveTask, solve_many
+
+__all__ = [
+    "TaskError",
+    "TaskOutcome",
+    "map_many",
+    "run_many",
+    "SolveTask",
+    "solve_many",
+]

@@ -1,0 +1,215 @@
+"""A small process pool with hard per-task timeouts.
+
+``multiprocessing.Pool``/``ProcessPoolExecutor`` cannot cancel a running
+task — exactly the failure mode that matters for LP solves (a degenerate
+model can spin for minutes).  Here every task gets its own worker
+process; on timeout the process is killed (SIGKILL) and joined, so the
+CPU is actually reclaimed.  Results come back over a per-task pipe and
+are returned in submission order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing import connection
+from typing import Any, Callable, Sequence
+
+
+class TaskError(RuntimeError):
+    """A pooled task failed (worker exception, crash, or timeout)."""
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result record for one pooled task, in submission order."""
+
+    index: int
+    ok: bool
+    value: Any = None
+    error: str | None = None
+    timed_out: bool = False
+    elapsed: float = 0.0
+
+    def unwrap(self):
+        """Return the value, or raise :class:`TaskError` on failure."""
+        if self.ok:
+            return self.value
+        kind = "timed out" if self.timed_out else "failed"
+        raise TaskError(f"task {self.index} {kind}: {self.error}")
+
+
+def _worker_main(fn, args, conn_out) -> None:
+    try:
+        conn_out.send(("ok", fn(*args)))
+    except BaseException as exc:  # noqa: BLE001 — boundary to the parent
+        try:
+            conn_out.send(
+                ("err", f"{type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc(limit=5)}")
+            )
+        except Exception:
+            pass
+    finally:
+        conn_out.close()
+
+
+def _pool_context(start_method: str | None):
+    if start_method is not None:
+        return mp.get_context(start_method)
+    # fork keeps worker startup cheap and avoids any picklability
+    # requirement on ``fn`` itself; fall back where it doesn't exist.
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+class _Live:
+    __slots__ = ("index", "proc", "conn", "started")
+
+    def __init__(self, index, proc, conn, started):
+        self.index = index
+        self.proc = proc
+        self.conn = conn
+        self.started = started
+
+
+def run_many(
+    fn: Callable,
+    args_list: Sequence[tuple],
+    *,
+    jobs: int = 1,
+    timeout: float | None = None,
+    start_method: str | None = None,
+) -> list[TaskOutcome]:
+    """Run ``fn(*args)`` for every tuple in ``args_list``; return ordered
+    :class:`TaskOutcome` records.
+
+    ``jobs`` bounds concurrent worker processes.  ``timeout`` is a hard
+    per-task wall-clock limit: an overdue worker is killed and its
+    outcome marked ``timed_out``.  With ``jobs=1`` and no timeout the
+    tasks run inline in the calling process (the exact serial path —
+    no pickling, no subprocesses), which is what makes serial and
+    parallel experiment tables comparable byte for byte.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    tasks = list(enumerate(args_list))
+    if jobs == 1 and timeout is None:
+        out = []
+        for i, args in tasks:
+            t0 = time.perf_counter()
+            try:
+                out.append(TaskOutcome(i, True, fn(*args),
+                                       elapsed=time.perf_counter() - t0))
+            except Exception as exc:  # noqa: BLE001
+                out.append(TaskOutcome(
+                    i, False, error=f"{type(exc).__name__}: {exc}",
+                    elapsed=time.perf_counter() - t0,
+                ))
+        return out
+
+    ctx = _pool_context(start_method)
+    results: list[TaskOutcome | None] = [None] * len(tasks)
+    pending = list(reversed(tasks))
+    live: dict[int, _Live] = {}
+
+    def _launch() -> None:
+        index, args = pending.pop()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_main, args=(fn, args, child_conn), daemon=True
+        )
+        proc.start()
+        child_conn.close()  # parent keeps only the read end
+        live[index] = _Live(index, proc, parent_conn, time.perf_counter())
+
+    def _finish(lv: _Live) -> None:
+        elapsed = time.perf_counter() - lv.started
+        try:
+            kind, payload = lv.conn.recv()
+        except (EOFError, OSError):
+            kind, payload = "err", (
+                f"worker died without a result "
+                f"(exit code {lv.proc.exitcode})"
+            )
+        lv.conn.close()
+        lv.proc.join()
+        if kind == "ok":
+            results[lv.index] = TaskOutcome(lv.index, True, payload,
+                                            elapsed=elapsed)
+        else:
+            results[lv.index] = TaskOutcome(lv.index, False, error=payload,
+                                            elapsed=elapsed)
+        del live[lv.index]
+
+    def _kill(lv: _Live) -> None:
+        elapsed = time.perf_counter() - lv.started
+        lv.proc.kill()
+        lv.proc.join()
+        lv.conn.close()
+        results[lv.index] = TaskOutcome(
+            lv.index, False, timed_out=True, elapsed=elapsed,
+            error=f"exceeded {timeout:g}s wall clock (worker killed)",
+        )
+        del live[lv.index]
+
+    try:
+        while pending or live:
+            while pending and len(live) < jobs:
+                _launch()
+            if timeout is None:
+                wait_for = None
+            else:
+                now = time.perf_counter()
+                wait_for = max(
+                    0.0,
+                    min(lv.started + timeout for lv in live.values()) - now,
+                )
+            ready = connection.wait(
+                [lv.conn for lv in live.values()], timeout=wait_for
+            )
+            ready_set = set(ready)
+            for lv in [lv for lv in live.values() if lv.conn in ready_set]:
+                _finish(lv)
+            if timeout is not None:
+                now = time.perf_counter()
+                for lv in [
+                    lv for lv in live.values()
+                    if now - lv.started >= timeout
+                ]:
+                    _kill(lv)
+    finally:
+        # On any parent-side error, reclaim every worker before raising.
+        for lv in list(live.values()):
+            lv.proc.kill()
+            lv.proc.join()
+            lv.conn.close()
+
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
+
+
+def map_many(
+    fn: Callable,
+    args_list: Sequence[tuple],
+    *,
+    jobs: int = 1,
+    timeout: float | None = None,
+    start_method: str | None = None,
+) -> list:
+    """:func:`run_many`, unwrapped: a list of plain return values.
+
+    With ``jobs=1`` and no timeout this is literally
+    ``[fn(*a) for a in args_list]`` — exceptions propagate with their
+    original type, which keeps serial experiment drivers byte-identical
+    to their pre-pool behavior.  Parallel runs raise :class:`TaskError`
+    for the first failed task.
+    """
+    if jobs == 1 and timeout is None:
+        return [fn(*args) for args in args_list]
+    outcomes = run_many(
+        fn, args_list, jobs=jobs, timeout=timeout, start_method=start_method
+    )
+    return [o.unwrap() for o in outcomes]

@@ -17,6 +17,8 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.geometry import Point
 
 
@@ -77,8 +79,15 @@ class Topology:
 
         self._depth = self._compute_depths()
         self._post = self._compute_postorder()
-        # Binary-lifting table, built lazily on first LCA query.
+        # Lazily-built, memoized derived tables (the topology is
+        # immutable, so they never invalidate): binary-lifting ancestors,
+        # per-subtree sink lists, rotated sink coordinates, and the
+        # root-path edge-incidence matrix used by the vectorized
+        # Steiner-row builder.
         self._lift: list[list[int]] | None = None
+        self._sinks_under: list[list[int]] | None = None
+        self._sink_uv: tuple[np.ndarray, np.ndarray] | None = None
+        self._incidence = None
 
     # ------------------------------------------------------------------
     # shape accessors
@@ -223,15 +232,64 @@ class Topology:
 
     def sinks_under(self) -> list[list[int]]:
         """For every node, the sorted sinks of its subtree — O(n * m) total,
-        computed in one postorder sweep."""
-        acc: list[list[int]] = [[] for _ in range(self.num_nodes)]
-        for i in self._post:
-            own = [i] if self.is_sink(i) else []
-            merged = own
-            for c in self._children[i]:
-                merged = merged + acc[c]
-            acc[i] = merged
-        return acc
+        computed in one postorder sweep.
+
+        Memoized on the instance (repeated constraint/violation passes in
+        the lazy solver call this every round): treat the returned lists
+        as read-only.
+        """
+        if self._sinks_under is None:
+            acc: list[list[int]] = [[] for _ in range(self.num_nodes)]
+            for i in self._post:
+                own = [i] if self.is_sink(i) else []
+                merged = own
+                for c in self._children[i]:
+                    merged = merged + acc[c]
+                acc[i] = merged
+            self._sinks_under = acc
+        return self._sinks_under
+
+    def sink_uv(self) -> tuple[np.ndarray, np.ndarray]:
+        """Rotated (u, v) sink coordinates indexed by *node id*, with
+        non-sink entries zeroed; memoized (read-only)."""
+        if self._sink_uv is None:
+            su = np.zeros(self.num_nodes)
+            sv = np.zeros(self.num_nodes)
+            for i in self.sink_ids():
+                p = self._sink_locations[i - 1]
+                su[i] = p.u
+                sv[i] = p.v
+            self._sink_uv = (su, sv)
+        return self._sink_uv
+
+    def root_path_incidence(self):
+        """CSR edge-incidence of every root path, memoized (read-only).
+
+        Row ``v`` has a 1.0 in column ``e`` iff edge ``e`` (owned by node
+        ``e``) lies on ``path(s_0, s_v)``; column 0 is always empty.  The
+        Steiner row for a sink pair then falls out without walking any
+        path:  ``row(i, j) = inc[i] + inc[j] - 2 * inc[lca(i, j)]`` (the
+        shared root prefix cancels exactly).
+        """
+        if self._incidence is None:
+            from scipy import sparse
+
+            n = self.num_nodes
+            depth = np.asarray(self._depth, dtype=np.int64)
+            ptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(depth, out=ptr[1:])
+            cols = np.empty(int(ptr[-1]), dtype=np.int32)
+            for v in self.preorder():
+                p = self._parents[v]
+                if p is None:
+                    continue
+                a = ptr[v]
+                cols[a : a + depth[p]] = cols[ptr[p] : ptr[p + 1]]
+                cols[ptr[v + 1] - 1] = v
+            self._incidence = sparse.csr_matrix(
+                (np.ones(len(cols)), cols, ptr), shape=(n, n)
+            )
+        return self._incidence
 
     # ------------------------------------------------------------------
     # internals

@@ -1,0 +1,148 @@
+"""Incremental CSR export and the vectorized Steiner row builder.
+
+The hot-path engine caches ``to_arrays()`` output and folds only rows
+appended since the last export; these tests pin the invariant that makes
+that safe: the incremental export is always equal to a from-scratch
+(``cache=False``) export, across any interleaving of ``add_constraint``,
+``add_range_constraint``, and bulk ``add_rows`` calls.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebf.constraints import all_sink_pairs, steiner_constraint_rows
+from repro.ebf.formulation import add_steiner_rows, build_ebf_lp
+from repro.ebf import DelayBounds, steiner_row_matrix
+from repro.geometry import Point
+from repro.lp import LinearProgram, Sense
+from repro.topology import nearest_neighbor_topology
+
+
+def _assert_exports_equal(lp: LinearProgram) -> None:
+    inc = lp.to_arrays()
+    fresh = lp.to_arrays(cache=False)
+    for got, want in zip(inc, fresh):
+        if got is None or want is None:
+            assert got is None and want is None
+            continue
+        if hasattr(got, "toarray"):
+            got, want = got.toarray(), want.toarray()
+        np.testing.assert_array_equal(np.asarray(got), np.asarray(want))
+
+
+def random_topo(m, seed):
+    rng = np.random.default_rng(seed)
+    pts = [Point(float(x), float(y)) for x, y in rng.integers(0, 100, (m, 2))]
+    return nearest_neighbor_topology(pts)
+
+
+_SENSES = st.sampled_from([Sense.LE, Sense.GE, Sense.EQ])
+
+
+@st.composite
+def _ops(draw):
+    """A short program of row-appending operations against a small LP."""
+    n_vars = draw(st.integers(2, 6))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["row", "bulk", "range"]),
+                st.integers(0, 10**6),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return n_vars, steps
+
+
+@given(_ops())
+@settings(max_examples=60, deadline=None)
+def test_incremental_export_matches_fresh(ops):
+    n_vars, steps = ops
+    lp = LinearProgram()
+    lp.add_variables(n_vars, prefix="x", cost=1.0)
+    for kind, seed in steps:
+        rng = np.random.default_rng(seed)
+        if kind == "row":
+            k = rng.integers(1, n_vars + 1)
+            cols = rng.choice(n_vars, size=k, replace=False)
+            lp.add_constraint(
+                [(int(j), float(c)) for j, c in zip(cols, rng.uniform(-3, 3, k))],
+                Sense(rng.choice(["<=", ">=", "=="])),
+                float(rng.uniform(-5, 5)),
+            )
+        elif kind == "bulk":
+            rows = int(rng.integers(1, 4))
+            lens = rng.integers(1, n_vars + 1, rows)
+            indptr = np.concatenate([[0], np.cumsum(lens)])
+            cols = np.concatenate(
+                [rng.choice(n_vars, size=l, replace=False) for l in lens]
+            )
+            lp.add_rows(
+                rng.uniform(-2, 2, indptr[-1]),
+                cols,
+                indptr,
+                Sense(rng.choice(["<=", ">=", "=="])),
+                rng.uniform(-4, 4, rows),
+            )
+        else:
+            lo, hi = sorted(rng.uniform(-5, 5, 2))
+            lp.add_range_constraint(
+                [(0, 1.0), (n_vars - 1, 0.5)], float(lo), float(hi)
+            )
+        # Export (and cache) after every step: the next step must fold
+        # onto the cache, not invalidate correctness.
+        _assert_exports_equal(lp)
+
+
+def test_export_cache_reused_when_unchanged():
+    lp = LinearProgram()
+    lp.add_variables(3, prefix="x", cost=1.0)
+    lp.add_constraint([(0, 1.0), (1, 2.0)], Sense.GE, 1.0)
+    first = lp.to_arrays()
+    again = lp.to_arrays()
+    assert first[1] is again[1]  # same a_ub object: no rebuild
+
+
+def test_add_rows_validation():
+    lp = LinearProgram()
+    lp.add_variables(3, prefix="x")
+    with pytest.raises(ValueError):
+        lp.add_rows([1.0], [0], [0, 2], Sense.GE, [1.0])  # indptr end != nnz
+    with pytest.raises(ValueError):
+        lp.add_rows([1.0], [7], [0, 1], Sense.GE, [1.0])  # column out of range
+    with pytest.raises(ValueError):
+        lp.add_rows([1.0], [0], [0, 1], Sense.GE, [1.0, 2.0])  # rhs length
+
+
+class TestVectorizedSteinerRows:
+    @pytest.mark.parametrize("m,seed", [(5, 0), (9, 3), (16, 11), (24, 5)])
+    def test_matrix_matches_legacy_rows(self, m, seed):
+        topo = random_topo(m, seed)
+        pairs = list(all_sink_pairs(topo))
+        block, dist = steiner_row_matrix(topo, pairs)
+        legacy = steiner_constraint_rows(topo, pairs)
+        assert block.shape == (len(pairs), topo.num_nodes)
+        for r, (_i, _j, edges, rhs) in enumerate(legacy):
+            dense = np.zeros(topo.num_nodes)
+            dense[list(edges)] = 1.0
+            np.testing.assert_array_equal(block.getrow(r).toarray()[0], dense)
+            assert dist[r] == pytest.approx(rhs)
+
+    @pytest.mark.parametrize("m,seed", [(8, 2), (14, 7)])
+    def test_add_steiner_rows_appends_exact_rows(self, m, seed):
+        topo = random_topo(m, seed)
+        bounds = DelayBounds.uniform(m, 0.0, np.inf)
+        pairs = list(all_sink_pairs(topo))
+        lp_lazy = build_ebf_lp(topo, bounds, pairs=pairs[: len(pairs) // 2])
+        add_steiner_rows(lp_lazy, topo, pairs[len(pairs) // 2 :])
+        lp_full = build_ebf_lp(topo, bounds, pairs=pairs)
+        assert lp_lazy.num_constraints == lp_full.num_constraints
+        _assert_exports_equal(lp_lazy)
+        a = lp_lazy.to_arrays(cache=False)
+        b = lp_full.to_arrays(cache=False)
+        np.testing.assert_array_equal(a[1].toarray(), b[1].toarray())
+        np.testing.assert_array_equal(a[2], b[2])

@@ -1,0 +1,124 @@
+"""The process-pool batch runner: ordering, equivalence, and hard kills."""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import load_benchmark
+from repro.ebf import DelayBounds
+from repro.experiments import render_table3, run_table3
+from repro.geometry import manhattan_radius_from
+from repro.perf import SolveTask, TaskError, map_many, run_many, solve_many
+from repro.topology import nearest_neighbor_topology
+
+
+def _square(x):
+    return x * x
+
+
+def _fail(x):
+    raise ValueError(f"bad input {x}")
+
+
+def _sleep_forever(_x):
+    time.sleep(300)
+
+
+class TestRunMany:
+    def test_inline_path_matches_loop(self):
+        outs = run_many(_square, [(i,) for i in range(6)], jobs=1)
+        assert [o.unwrap() for o in outs] == [i * i for i in range(6)]
+        assert [o.index for o in outs] == list(range(6))
+
+    def test_parallel_preserves_order(self):
+        outs = run_many(_square, [(i,) for i in range(9)], jobs=3)
+        assert [o.unwrap() for o in outs] == [i * i for i in range(9)]
+
+    def test_worker_exception_becomes_outcome(self):
+        out = run_many(_fail, [(3,)], jobs=2)[0]
+        assert not out.ok and not out.timed_out
+        assert "bad input 3" in out.error
+        with pytest.raises(TaskError):
+            out.unwrap()
+
+    def test_timeout_kills_worker(self):
+        t0 = time.perf_counter()
+        outs = run_many(_sleep_forever, [(0,), (1,)], jobs=2, timeout=0.5)
+        wall = time.perf_counter() - t0
+        assert all(o.timed_out and not o.ok for o in outs)
+        assert all(o.elapsed >= 0.5 for o in outs)
+        # Both 300s sleepers were killed, not waited out.
+        assert wall < 30.0
+        with pytest.raises(TaskError, match="timed out"):
+            outs[0].unwrap()
+
+    def test_mixed_fast_and_hung(self):
+        outs = run_many(
+            time.sleep, [(0.01,), (300,), (0.01,)], jobs=2, timeout=1.0
+        )
+        assert [o.timed_out for o in outs] == [False, True, False]
+        assert outs[0].ok and outs[2].ok
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            run_many(_square, [(1,)], jobs=0)
+
+    def test_map_many_serial_preserves_exception_type(self):
+        with pytest.raises(ValueError, match="bad input"):
+            map_many(_fail, [(1,)], jobs=1)
+
+
+class TestSolveMany:
+    @pytest.fixture(scope="class")
+    def tasks(self):
+        out = []
+        for size in (12, 16, 20):
+            bench = load_benchmark("prim2").scaled(size)
+            sinks = list(bench.sinks)
+            topo = nearest_neighbor_topology(sinks, bench.source)
+            radius = manhattan_radius_from(bench.source, sinks)
+            bounds = DelayBounds.uniform(size, 0.8 * radius, 1.2 * radius)
+            out.append(SolveTask(topo, bounds, {"check_bounds": False}))
+        return out
+
+    def test_parallel_matches_serial_bitwise(self, tasks):
+        serial = [o.unwrap() for o in solve_many(tasks, jobs=1)]
+        pooled = [o.unwrap() for o in solve_many(tasks, jobs=2)]
+        for s, p in zip(serial, pooled):
+            assert s.cost == p.cost
+            np.testing.assert_array_equal(s.edge_lengths, p.edge_lengths)
+            np.testing.assert_array_equal(s.delays, p.delays)
+            assert s.stats.rounds == p.stats.rounds
+            assert s.stats.steiner_rows == p.stats.steiner_rows
+
+    def test_infeasible_task_reports_not_crashes(self, tasks):
+        bad = SolveTask(
+            tasks[0].topo,
+            DelayBounds.uniform(12, 0.0, 1e-9),
+            {"check_bounds": False},
+        )
+        outs = solve_many([tasks[0], bad], jobs=2)
+        assert outs[0].ok
+        assert not outs[1].ok and "Infeasible" in outs[1].error
+
+
+class TestExperimentJobs:
+    def test_table3_parallel_identical(self):
+        bench = load_benchmark("prim1").scaled(20)
+        combos = ((0.9, 1.0), (0.5, 1.0), (0.0, 1.5))
+        serial = run_table3(bench, combos=combos, jobs=1)
+        pooled = run_table3(bench, combos=combos, jobs=2)
+        assert serial == pooled
+        assert render_table3(serial) == render_table3(pooled)
+
+    @pytest.mark.skipif(
+        os.environ.get("FULL", "") != "1",
+        reason="spawn round-trip is slow; covered by fork elsewhere",
+    )
+    def test_spawn_start_method(self, tmp_path):
+        outs = run_many(
+            _square, [(i,) for i in range(3)], jobs=2, start_method="spawn"
+        )
+        assert [o.unwrap() for o in outs] == [0, 1, 4]
