@@ -1,0 +1,166 @@
+"""Pre-solve static verification of (topology, bounds, LP) instances.
+
+A malformed instance — NaN coefficients, inverted ``l_i > u_i`` windows,
+a cyclic parents array — used to surface only as a cryptic backend
+failure deep inside :func:`repro.ebf.solve_lubt`.  This package checks
+the inputs *before* any solve time is spent and reports what it finds as
+typed :class:`~repro.check.diagnostics.Diagnostic` records with stable
+codes (``LP001 nan-coefficient``, ``TP003 unreachable-sink``,
+``BD005 bounds-below-manhattan-floor``, ...).
+
+Division of labor with :mod:`repro.resilience`: ``check`` is
+*pre-solve and static* — it never runs an LP; ``diagnose_infeasibility``
+is *post-solve and elastic* — it re-solves with slack variables to
+explain an infeasibility the static layer cannot rule out.  See
+docs/STATIC_ANALYSIS.md for the full code catalogue.
+
+Entry points::
+
+    result = check_instance(topo, bounds)        # pre-build
+    result = check_instance(topo, bounds, lp=lp) # post-build, pre-solve
+    result.ok            # no error-severity findings
+    result.summary()     # human report
+    solve_lubt(topo, bounds, validate="strict")  # raise on any error
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.check.bounds_checks import check_bounds
+from repro.check.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticWarning,
+    Severity,
+    collect,
+    emit,
+)
+from repro.check.lp_checks import check_lp
+from repro.check.topology_checks import check_parents, check_topology
+
+__all__ = [
+    "CODES",
+    "CheckResult",
+    "Diagnostic",
+    "DiagnosticWarning",
+    "InstanceCheckError",
+    "Severity",
+    "check_bounds",
+    "check_instance",
+    "check_lp",
+    "check_parents",
+    "check_topology",
+    "collect",
+    "emit",
+]
+
+
+class InstanceCheckError(ValueError):
+    """Raised by strict validation when an instance has error findings."""
+
+    def __init__(self, result: "CheckResult", context: str = "") -> None:
+        head = context or "instance failed static verification"
+        super().__init__(f"{head}\n{result.summary(max_lines=20)}")
+        self.result = result
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The outcome of one static-verification pass."""
+
+    diagnostics: tuple[Diagnostic, ...]
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(
+            d for d in self.diagnostics if d.severity is Severity.WARNING
+        )
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when there are no *error* findings (warnings allowed)."""
+        return not self.errors
+
+    def codes(self) -> tuple[str, ...]:
+        return tuple(d.code for d in self.diagnostics)
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "error": len(self.errors),
+            "warning": len(self.warnings),
+            "info": len(self.infos),
+        }
+
+    def summary(self, max_lines: int | None = None) -> str:
+        """Human-readable report, most severe findings first."""
+        if not self.diagnostics:
+            return "check: clean (no findings)"
+        ordered = sorted(
+            self.diagnostics,
+            key=lambda d: (d.severity.rank, d.code, d.locus),  # type: ignore[union-attr]
+        )
+        shown = ordered if max_lines is None else ordered[:max_lines]
+        lines = [d.render() for d in shown]
+        if max_lines is not None and len(ordered) > max_lines:
+            lines.append(f"... and {len(ordered) - max_lines} more")
+        c = self.counts()
+        lines.append(
+            f"check: {c['error']} error(s), {c['warning']} warning(s), "
+            f"{c['info']} info"
+        )
+        return "\n".join(lines)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "counts": self.counts(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def raise_if_errors(self, context: str = "") -> "CheckResult":
+        if not self.ok:
+            raise InstanceCheckError(self, context)
+        return self
+
+
+def check_instance(
+    topo: Any = None,
+    bounds: Any = None,
+    lp: Any = None,
+    *,
+    parents: Sequence[int | None] | None = None,
+    num_sinks: int | None = None,
+    geometric_floor: bool = True,
+) -> CheckResult:
+    """Run every applicable static check over the pieces provided.
+
+    Any of ``topo`` (a :class:`~repro.topology.Topology`), ``bounds``
+    (a :class:`~repro.ebf.DelayBounds`), ``lp`` (a
+    :class:`~repro.lp.LinearProgram`) and ``parents`` (a raw parents
+    array, for breakage a constructed ``Topology`` refuses to represent)
+    may be given; checks needing an absent piece are skipped.
+    ``geometric_floor=False`` disables ``BD005`` — mirror of the
+    solver's ``check_bounds=False``.
+    """
+    found: list[Diagnostic] = []
+    if parents is not None:
+        found.extend(check_parents(parents, num_sinks=num_sinks))
+    if topo is not None:
+        found.extend(check_topology(topo))
+    if bounds is not None:
+        found.extend(
+            check_bounds(bounds, topo, geometric_floor=geometric_floor)
+        )
+    if lp is not None:
+        found.extend(check_lp(lp))
+    return CheckResult(tuple(found))

@@ -72,21 +72,9 @@ def _load(args) -> object:
 
 
 def _cmd_solve(args) -> int:
-    if getattr(args, "file", None):
-        from repro.data import load_sinks_file
+    from repro.resilience import AllBackendsFailedError
 
-        source, sinks, _ = load_sinks_file(args.file)
-        name = args.file
-        if source is None:
-            from repro.geometry import bounding_box, Point
-
-            xmin, ymin, xmax, ymax = bounding_box(sinks)
-            source = Point((xmin + xmax) / 2, (ymin + ymax) / 2)
-    else:
-        bench = _load(args)
-        sinks = list(bench.sinks)
-        source = bench.source
-        name = bench.name
+    source, sinks, name = _load_instance_sinks(args)
     topo = nearest_neighbor_topology(sinks, source)
     radius = manhattan_radius_from(source, sinks)
     bounds = DelayBounds.uniform(
@@ -102,11 +90,7 @@ def _cmd_solve(args) -> int:
             lp_timeout=args.lp_timeout,
             on_infeasible=on_infeasible,
         )
-    except Exception as exc:
-        from repro.resilience import AllBackendsFailedError
-
-        if not isinstance(exc, AllBackendsFailedError):
-            raise
+    except AllBackendsFailedError as exc:
         print("solve failed — every LP backend was exhausted:", file=sys.stderr)
         print(exc.report.summary(), file=sys.stderr)
         return 2
@@ -161,6 +145,119 @@ def _print_diagnosis(diag, radius: float) -> None:
         f"total relaxation {diag.total_slack / radius:.4f} x radius across "
         f"{len(diag.conflicting)} sink(s); re-solving with relaxed bounds"
     )
+
+
+def _load_instance_sinks(args) -> tuple[object, list, str]:
+    """Shared ``--bench``/``--file`` instance loading for solve/check."""
+    if getattr(args, "file", None):
+        from repro.data import load_sinks_file
+        from repro.geometry import Point, bounding_box
+
+        source, sinks, _ = load_sinks_file(args.file)
+        if source is None:
+            xmin, ymin, xmax, ymax = bounding_box(sinks)
+            source = Point((xmin + xmax) / 2, (ymin + ymax) / 2)
+        return source, sinks, args.file
+    bench = _load(args)
+    return bench.source, list(bench.sinks), bench.name
+
+
+def _check_one(topo, bounds, *, with_lp: bool = True):
+    """Run the staged static check: topology + bounds first, then —
+    errors or not — attempt the LP build so LP-level findings (and any
+    BD006 collapse emitted during assembly) land in the same report."""
+    from repro.check import CheckResult, check_instance, collect
+    from repro.ebf.formulation import build_ebf_lp
+
+    result = check_instance(topo, bounds)
+    build_error = None
+    if with_lp:
+        lp = None
+        with collect() as emitted:
+            try:
+                lp = build_ebf_lp(topo, bounds)
+            except Exception as exc:  # noqa: BLE001 — reporting boundary:
+                # the instance is arbitrary and possibly broken by design
+                build_error = f"{type(exc).__name__}: {exc}"
+        diags = list(result.diagnostics) + emitted
+        if lp is not None:
+            diags += check_instance(lp=lp).diagnostics
+        result = CheckResult(tuple(diags))
+    return result, build_error
+
+
+def _cmd_check(args) -> int:
+    import json as _json
+
+    source, sinks, name = _load_instance_sinks(args)
+    radius = manhattan_radius_from(source, sinks)
+    topo = nearest_neighbor_topology(sinks, source)
+    # Deliberately *unchecked*: `lubt check` must be able to represent
+    # the broken window it is asked to diagnose.
+    lower = [args.lower * radius] * len(sinks)
+    upper = [args.upper * radius] * len(sinks)
+    bounds = DelayBounds.unchecked(lower, upper)
+
+    if args.suite == "table1":
+        payload, failed = _check_table1_suite(args, name)
+    else:
+        result, build_error = _check_one(topo, bounds)
+        payload = {
+            "instance": name,
+            "sinks": len(sinks),
+            **result.to_json_dict(),
+        }
+        if build_error is not None:
+            payload["build_error"] = build_error
+        failed = not result.ok or build_error is not None
+        if not args.json:
+            print(f"checking {name} ({len(sinks)} sinks)")
+            print(result.summary())
+            if build_error is not None:
+                print(f"LP build failed: {build_error}")
+    if args.json:
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    if args.fail_on_warning and not failed:
+        failed = payload["counts"]["warning"] > 0 if "counts" in payload else any(
+            row["counts"]["warning"] for row in payload.get("rows", ())
+        )
+    return 1 if failed else 0
+
+
+def _check_table1_suite(args, name: str) -> tuple[dict, bool]:
+    """Statically verify every (topology, bounds) pair Table 1 would
+    solve: baseline topology + realized-delay windows per skew bound."""
+    from repro.baselines import bounded_skew_tree
+    from repro.experiments.table1 import PAPER_SKEW_BOUNDS
+    import math
+
+    bench = _load(args)
+    sinks = list(bench.sinks)
+    radius = manhattan_radius_from(bench.source, sinks)
+    rows = []
+    failed = False
+    counts = {"error": 0, "warning": 0, "info": 0}
+    for skew in PAPER_SKEW_BOUNDS:
+        bound_abs = skew * radius if math.isfinite(skew) else math.inf
+        base = bounded_skew_tree(sinks, bound_abs, bench.source, verify=False)
+        bounds = DelayBounds.uniform(
+            bench.num_sinks, base.shortest_delay, base.longest_delay
+        )
+        result, build_error = _check_one(base.topology, bounds)
+        row = {
+            "skew_bound": skew if math.isfinite(skew) else "inf",
+            **result.to_json_dict(),
+        }
+        if build_error is not None:
+            row["build_error"] = build_error
+        rows.append(row)
+        for k in counts:
+            counts[k] += row["counts"][k]
+        failed = failed or not result.ok or build_error is not None
+        if not args.json:
+            print(f"skew bound {skew:g}: {result.summary().splitlines()[-1]}")
+    return {"instance": name, "suite": "table1", "counts": counts,
+            "ok": not failed, "rows": rows}, failed
 
 
 def _cmd_table1(args) -> int:
@@ -296,6 +393,36 @@ def build_parser() -> argparse.ArgumentParser:
         "diagnosis and solve under the minimal relaxation",
     )
     p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser(
+        "check",
+        help="statically verify an instance before solving "
+        "(typed LP/TP/BD diagnostics; exit 1 on errors)",
+    )
+    _bench_arg(p)
+    p.add_argument("--lower", type=float, default=0.8, help="lower bound / radius")
+    p.add_argument("--upper", type=float, default=1.2, help="upper bound / radius")
+    p.add_argument(
+        "--file",
+        default=None,
+        help="check sinks from a pin-list/CSV file instead of a surrogate",
+    )
+    p.add_argument(
+        "--suite",
+        choices=("none", "table1"),
+        default="none",
+        help="check every (topology, bounds) pair an experiment suite "
+        "would solve instead of a single instance",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="machine-readable report on stdout"
+    )
+    p.add_argument(
+        "--fail-on-warning",
+        action="store_true",
+        help="exit nonzero on warnings too (default: errors only)",
+    )
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("table1", help="reproduce Table 1 for one benchmark")
     _bench_arg(p)

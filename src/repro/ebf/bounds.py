@@ -77,6 +77,21 @@ class DelayBounds:
         return DelayBounds.uniform(num_sinks, 0.0, math.inf)
 
     @staticmethod
+    def unchecked(lower, upper) -> "DelayBounds":
+        """Construct *without* Definition 2.1 validation.
+
+        Exists for the static verification layer and fault injection:
+        deliberately broken windows (inverted, NaN) must be representable
+        so :func:`repro.check.check_bounds` has something to report.
+        Never feed an unchecked instance to a solver without running the
+        checker first.
+        """
+        b = object.__new__(DelayBounds)
+        object.__setattr__(b, "lower", np.asarray(lower, dtype=float))
+        object.__setattr__(b, "upper", np.asarray(upper, dtype=float))
+        return b
+
+    @staticmethod
     def per_sink(pairs: list[tuple[float, float]]) -> "DelayBounds":
         """Distinct bounds per sink, e.g. per-pipeline-stage windows."""
         if not pairs:

@@ -137,9 +137,12 @@ def seed_constraint_pairs(topo: Topology) -> list[tuple[int, int]]:
         for (ga, ea), (gb, eb) in itertools.combinations(
             zip(groups, extremes), 2
         ):
+            # Candidate extremes are deduped *and sorted*: iterating a bare
+            # set here would make the argmax tie-break depend on hash order,
+            # and with it the seed rows and the degenerate-optimum vertex.
             best: tuple[float, int, int] | None = None
-            for i in set(ea.values()):
-                for j in set(eb.values()):
+            for i in sorted(set(ea.values())):
+                for j in sorted(set(eb.values())):
                     d = max(abs(su[i] - su[j]), abs(sv[i] - sv[j]))
                     if best is None or d > best[0]:
                         best = (d, i, j)

@@ -112,7 +112,7 @@ def solve_lubt(
     batch: int = 4000,
     max_rounds: int = 60,
     check_bounds: bool = True,
-    validate: bool = True,
+    validate: bool | str = True,
     keep_lp: bool = False,
     resilient: bool = False,
     lp_timeout: float | None = None,
@@ -134,6 +134,17 @@ def solve_lubt(
     check_bounds:
         Verify Definition 2.1's Eq. 3/4 validity conditions first.  Turn
         off to probe infeasible bound sets deliberately.
+    validate:
+        Static pre-check (:func:`repro.check.check_instance`) plus exact
+        post-checks.  ``"strict"`` raises
+        :class:`repro.check.InstanceCheckError` on any error-severity
+        diagnostic before solving — in strict mode the built LP is
+        checked too; ``"warn"`` (= ``True``, the default) surfaces
+        error findings as :class:`~repro.check.DiagnosticWarning`
+        warnings and solves anyway; ``"off"`` (= ``False``) skips both
+        the pre-check and the post-solve validation.
+        ``check_bounds=False`` also disables the pre-check's geometric
+        floor (``BD005``), keeping the two knobs consistent.
     resilient:
         Route every LP through :func:`repro.resilience.solve_lp_resilient`
         (backend cascade + per-attempt ``lp_timeout`` + rescale retry)
@@ -151,6 +162,17 @@ def solve_lubt(
         raise ValueError(f"unknown on_infeasible {on_infeasible!r}")
     if mode not in ("lazy", "full"):
         raise ValueError(f"unknown mode {mode!r}")
+    if validate is True:
+        validate = "warn"
+    elif validate is False:
+        validate = "off"
+    if validate not in ("strict", "warn", "off"):
+        raise ValueError(f"unknown validate {validate!r}")
+    post_validate = validate != "off"
+
+    if validate != "off":
+        _precheck(topo, bounds, strict=validate == "strict",
+                  geometric_floor=check_bounds)
 
     retry_kwargs = dict(
         weights=weights,
@@ -200,6 +222,8 @@ def solve_lubt(
                 topo, bounds, weights=weights, pairs=pairs,
                 zero_edges=zero_edges,
             )
+            if validate == "strict":
+                _check_built_lp(lp)
             result = _solve(lp, backend).require_optimal()
             e = expand_edge_vector(topo, result.x)
             rounds, iters = 1, result.iterations
@@ -209,6 +233,8 @@ def solve_lubt(
                 topo, bounds, weights=weights, pairs=pairs,
                 zero_edges=zero_edges,
             )
+            if validate == "strict":
+                _check_built_lp(lp)
             total_pairs = topo.num_sinks * (topo.num_sinks - 1) // 2
             # Resolve "auto" once, against the row count the lazy loop is
             # heading toward, and stick with it: re-deciding per round
@@ -232,11 +258,17 @@ def solve_lubt(
                 violated = steiner_violations(
                     topo, e, _VIOLATION_TOL, limit=batch, with_lca=True
                 )
-                fresh = [
-                    (i, j, k)
-                    for i, j, k, _ in violated
+                picked = [
+                    (i, j, k, v)
+                    for i, j, k, v in violated
                     if ((i, j) if i < j else (j, i)) not in seen
                 ]
+                # Total order on the batch (violation desc, then sink ids):
+                # the scan's tie order is an implementation detail, and row
+                # append order decides which degenerate optimum vertex the
+                # backend returns — sort so reruns are bit-reproducible.
+                picked.sort(key=lambda t: (-t[3], t[0], t[1]))
+                fresh = [(i, j, k) for i, j, k, _ in picked]
                 if not fresh:
                     # Either no violations, or every violated pair is
                     # already a row (sub-tolerance LP slack); re-adding
@@ -264,7 +296,7 @@ def solve_lubt(
     w = None if weights is None else np.asarray(weights, dtype=float)
     cost = tree_cost(topo, e, weights=w)
 
-    if validate:
+    if post_validate:
         _validate_solution(topo, bounds, e, delays)
 
     stats = SolveStats(
@@ -290,6 +322,35 @@ def solve_lubt(
         lp if keep_lp else None,
         result if keep_lp else None,
         solve_reports=tuple(reports),
+    )
+
+
+def _precheck(topo, bounds, *, strict: bool, geometric_floor: bool) -> None:
+    """Static verification of the (topology, bounds) instance before any
+    LP is built; see :mod:`repro.check`."""
+    from repro.check import check_instance
+
+    result = check_instance(
+        topo, bounds, geometric_floor=geometric_floor
+    )
+    if strict:
+        result.raise_if_errors("cannot solve: instance failed static checks")
+    elif not result.ok:
+        import warnings
+
+        from repro.check import DiagnosticWarning
+
+        for d in result.errors:
+            warnings.warn(DiagnosticWarning(d), stacklevel=3)
+
+
+def _check_built_lp(lp) -> None:
+    """Strict mode also vets the assembled LP (NaN rows, dominated or
+    duplicate Steiner rows, ...) before handing it to a backend."""
+    from repro.check import CheckResult, check_lp
+
+    CheckResult(tuple(check_lp(lp))).raise_if_errors(
+        "cannot solve: assembled LP failed static checks"
     )
 
 

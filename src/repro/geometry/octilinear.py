@@ -74,8 +74,10 @@ class Octilinear:
 
     @staticmethod
     def from_bounds(
-        xlo=-_INF, xhi=_INF, ylo=-_INF, yhi=_INF,
-        ulo=-_INF, uhi=_INF, vlo=-_INF, vhi=_INF,
+        xlo: float = -_INF, xhi: float = _INF,
+        ylo: float = -_INF, yhi: float = _INF,
+        ulo: float = -_INF, uhi: float = _INF,
+        vlo: float = -_INF, vhi: float = _INF,
     ) -> "Octilinear":
         """Build from raw bounds; canonicalizes (may come out empty)."""
         return _canonicalize(xlo, xhi, ylo, yhi, ulo, uhi, vlo, vhi)
@@ -310,7 +312,8 @@ class Octilinear:
 
 
 def _canonicalize(
-    xlo, xhi, ylo, yhi, ulo, uhi, vlo, vhi
+    xlo: float, xhi: float, ylo: float, yhi: float,
+    ulo: float, uhi: float, vlo: float, vhi: float,
 ) -> Octilinear:
     """Tighten the 8 bounds to their octagon closure.
 

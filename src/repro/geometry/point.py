@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Iterator, Sequence
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,7 +46,7 @@ class Point:
     def translated(self, dx: float, dy: float) -> "Point":
         return Point(self.x + dx, self.y + dy)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[float]":
         yield self.x
         yield self.y
 

@@ -36,6 +36,13 @@ class Sense(Enum):
     EQ = "=="
 
 
+#: Relative inversion (``lo - hi``) up to which :meth:`add_range_constraint`
+#: treats an inverted range as float noise and collapses it to an equality
+#: (emitting a ``BD006`` diagnostic) instead of raising.  Pinned by a
+#: regression test — widening it silently would mask real bound inversions.
+_RANGE_COLLAPSE_RTOL = 1e-9
+
+
 def _empty_split_cache() -> dict:
     return {
         "rows_done": 0,
@@ -135,11 +142,11 @@ class LinearProgram:
 
     def add_rows(
         self,
-        data,
-        cols,
-        indptr,
+        data: np.ndarray,
+        cols: np.ndarray,
+        indptr: np.ndarray,
         sense: Sense | Sequence[Sense],
-        rhs,
+        rhs: np.ndarray,
         names: Sequence[str] | None = None,
     ) -> range:
         """Bulk-append a CSR block of rows; returns the new row indices.
@@ -196,10 +203,21 @@ class LinearProgram:
         ``lo == hi`` emits a single equality.
         """
         if lo > hi:
-            if lo - hi <= 1e-9 * max(1.0, abs(lo), abs(hi)):
+            if lo - hi <= _RANGE_COLLAPSE_RTOL * max(1.0, abs(lo), abs(hi)):
                 # Inverted only by floating-point noise (e.g. an
                 # interpolated upper bound landing 1 ulp below an exact
-                # lower floor): collapse to equality at the midpoint.
+                # lower floor): collapse to equality at the midpoint, and
+                # say so — a silent collapse hides upstream bound bugs.
+                from repro.check.diagnostics import Diagnostic, emit
+
+                emit(
+                    Diagnostic(
+                        "BD006",
+                        f"range [{lo!r}, {hi!r}] inverted by float noise; "
+                        f"collapsed to equality at {0.5 * (lo + hi)!r}",
+                        locus=f"row {name!r}" if name else "row",
+                    )
+                )
                 lo = hi = 0.5 * (lo + hi)
             else:
                 raise ValueError(
@@ -260,7 +278,7 @@ class LinearProgram:
         coeffs, _, _ = self.row(i)
         return float(sum(a * x[j] for j, a in coeffs))
 
-    def _row_matrix(self):
+    def _row_matrix(self) -> tuple["sparse.csr_matrix", np.ndarray, np.ndarray]:
         """Full row matrix (as written, no sense negation) + senses + rhs,
         cached until the row set changes."""
         m = len(self._row_rhs)
@@ -357,7 +375,14 @@ class LinearProgram:
         st["rows_done"] = r1
         st["mats"] = None
 
-    def to_arrays(self, cache: bool = True):
+    def to_arrays(self, cache: bool = True) -> tuple[
+        np.ndarray,
+        "sparse.csr_matrix | None",
+        np.ndarray | None,
+        "sparse.csr_matrix | None",
+        np.ndarray | None,
+        list[tuple[float, float | None]],
+    ]:
         """Export as ``(c, A_ub, b_ub, A_eq, b_eq, bounds)``.
 
         GE rows are negated into <= form.  Matrices are CSR; either may be

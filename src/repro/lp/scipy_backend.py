@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 from scipy.optimize import linprog
 
@@ -49,7 +51,7 @@ def solve_scipy(lp: LinearProgram) -> LpResult:
     )
 
 
-def _model_row_duals(lp: LinearProgram, res, sign: float) -> np.ndarray | None:
+def _model_row_duals(lp: LinearProgram, res: Any, sign: float) -> np.ndarray | None:
     """Map HiGHS marginals back to model rows in their original
     orientation (d objective / d rhs of the row as written)."""
     ineq = getattr(res, "ineqlin", None)

@@ -147,12 +147,13 @@ def _two_phase(
         iters += it
         if status is not LpStatus.OPTIMAL:
             return np.zeros(n), LpStatus.ERROR, iters
+        art_set = set(art_cols)
         art_value = sum(
-            tableau[i, -1] for i in range(m) if basis[i] in set(art_cols)
+            tableau[i, -1] for i in range(m) if basis[i] in art_set
         )
         if art_value > _FEAS_TOL * (1.0 + abs(b).max()):
             return np.zeros(n), LpStatus.INFEASIBLE, iters
-        _drive_out_artificials(tableau, basis, set(art_cols), n + n_slack)
+        _drive_out_artificials(tableau, basis, art_set, n + n_slack)
         # Deactivate artificial columns for phase 2.
         tableau[:, n + n_slack : total] = 0.0
 

@@ -50,7 +50,7 @@ def _worker_main(fn, args, conn_out) -> None:
                 ("err", f"{type(exc).__name__}: {exc}\n"
                         f"{traceback.format_exc(limit=5)}")
             )
-        except Exception:
+        except Exception:  # noqa: BLE001 — parent may already be gone
             pass
     finally:
         conn_out.close()

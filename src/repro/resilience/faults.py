@@ -116,6 +116,54 @@ class FaultyBackend:
         raise TypeError(f"unknown fault {fault!r}")
 
 
+# ----------------------------------------------------------------------
+# instance breakers (for exercising the static verification layer)
+# ----------------------------------------------------------------------
+def inject_nan_coefficient(lp: LinearProgram, row: int = 0, slot: int = 0) -> None:
+    """Overwrite one stored coefficient of ``row`` with NaN, in place.
+
+    Reaches into the model's columnar buffers deliberately — the public
+    API refuses to build NaN rows, which is exactly why the checker needs
+    a way to see one (``LP001``).
+    """
+    a, b = lp._row_ptr[row], lp._row_ptr[row + 1]
+    if a == b:
+        raise ValueError(f"row {row} has no coefficients to poison")
+    if not (0 <= slot < b - a):
+        raise ValueError(f"row {row} has {b - a} coefficients, no slot {slot}")
+    lp._row_data[a + slot] = float("nan")
+    lp._split_cache = None
+    lp._residual_cache = None
+
+
+def invert_bounds(bounds, sink: int, gap: float = 1.0):
+    """A copy of ``bounds`` with sink ``sink``'s window inverted
+    (``l_i = u_i + gap``), bypassing the constructor's validation —
+    the ``BD002`` breakage no public path can produce."""
+    from repro.ebf.bounds import DelayBounds
+
+    lo = np.array(bounds.lower, dtype=float, copy=True)
+    hi = np.array(bounds.upper, dtype=float, copy=True)
+    lo[sink - 1] = hi[sink - 1] + float(gap)
+    return DelayBounds.unchecked(lo, hi)
+
+
+def cyclic_parents(parents, at: int, to: int | None = None) -> list:
+    """A copy of a parents array with node ``at`` reparented into its own
+    subtree (default: onto itself's child chain → a cycle), producing the
+    ``TP001``/``TP003`` breakage ``Topology.__init__`` rejects."""
+    broken = list(parents)
+    if not (1 <= at < len(broken)):
+        raise ValueError(f"node {at} out of range")
+    if to is None:
+        # Smallest cycle: make `at`'s parent point back to `at` through
+        # any node that currently has `at` as parent, else self-cycle.
+        kids = [i for i, p in enumerate(broken) if p == at]
+        to = kids[0] if kids else at
+    broken[at] = to
+    return broken
+
+
 def faulty_solvers(
     faults_by_backend: Mapping[str, Sequence[Fault | None]],
     base: Mapping[str, Callable[[LinearProgram], LpResult]] | None = None,

@@ -1,0 +1,78 @@
+"""End-to-end tests for ``lubt check`` (human and ``--json`` output)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCheckCommand:
+    def test_clean_bench_exits_zero(self, capsys):
+        assert main(["check", "--bench", "prim1", "--sinks", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_inverted_bounds_exit_nonzero_with_codes(self, capsys):
+        rc = main([
+            "check", "--bench", "r1", "--sinks", "10",
+            "--lower", "2.0", "--upper", "0.5",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "BD002" in out          # inverted window
+        assert "BD005" in out          # below the Manhattan floor
+        assert "LP005" in out          # the impossible delay rows
+
+    def test_json_output_is_machine_readable(self, capsys):
+        rc = main([
+            "check", "--bench", "prim1", "--sinks", "12", "--json",
+            "--lower", "3.0", "--upper", "0.25",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["ok"] is False
+        assert payload["counts"]["error"] > 0
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "BD002" in codes
+        sample = payload["diagnostics"][0]
+        assert {"code", "slug", "severity", "locus", "message", "fix_hint"} \
+            <= set(sample)
+
+    def test_nan_pin_file_reports_tp008(self, tmp_path, capsys):
+        pins = tmp_path / "broken.txt"
+        pins.write_text("source 50 50\n10 10\n90 20\nnan nan\n30 80\n")
+        rc = main(["check", "--file", str(pins), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert "TP008" in codes
+
+    def test_clean_json_shape(self, capsys):
+        rc = main(["check", "--bench", "prim2", "--sinks", "16", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []
+
+    def test_table1_suite_clean(self, capsys):
+        rc = main([
+            "check", "--bench", "prim1", "--sinks", "10",
+            "--suite", "table1", "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert payload["ok"] is True
+        assert len(payload["rows"]) == 8  # PAPER_SKEW_BOUNDS
+        assert all(row["ok"] for row in payload["rows"])
+
+    @pytest.mark.parametrize("flag", [[], ["--fail-on-warning"]])
+    def test_fail_on_warning_flag(self, capsys, tmp_path, flag):
+        # Two sinks at the same location: TP007 warning, no errors.
+        pins = tmp_path / "dup.txt"
+        pins.write_text("source 5 5\n1 1\n1 1\n9 2\n")
+        rc = main(["check", "--file", str(pins), "--json", *flag])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["warning"] >= 1
+        assert payload["counts"]["error"] == 0
+        assert rc == (1 if flag else 0)

@@ -147,3 +147,44 @@ class TestEvaluation:
         _, a_ub, _, a_eq, b_eq, _ = lp.to_arrays()
         assert a_eq is None and b_eq is None
         assert a_ub is not None
+
+
+class TestRangeCollapseThreshold:
+    """Pin the float-noise collapse threshold of ``add_range_constraint``
+    (``_RANGE_COLLAPSE_RTOL = 1e-9``, relative to ``max(1, |lo|, |hi|)``)."""
+
+    def test_collapse_just_under_threshold_emits_bd006(self):
+        from repro.check import collect
+        from repro.lp.model import _RANGE_COLLAPSE_RTOL
+
+        lp = LinearProgram()
+        j = lp.add_variable()
+        lo = 100.0
+        hi = lo - 0.5 * _RANGE_COLLAPSE_RTOL * lo  # inverted by half the tol
+        with collect() as emitted:
+            rows = lp.add_range_constraint({j: 1.0}, lo, hi, name="w")
+        assert [d.code for d in emitted] == ["BD006"]
+        assert "w" in emitted[0].locus
+        # Collapsed to a single equality at the midpoint.
+        assert len(rows) == 1
+        _, sense, rhs = lp.row(rows[0])
+        assert sense is Sense.EQ
+        assert rhs == pytest.approx(0.5 * (lo + hi))
+
+    def test_inversion_beyond_threshold_still_raises(self):
+        from repro.lp.model import _RANGE_COLLAPSE_RTOL
+
+        lp = LinearProgram()
+        j = lp.add_variable()
+        lo = 100.0
+        hi = lo - 10.0 * _RANGE_COLLAPSE_RTOL * lo  # 10x past the tol
+        with pytest.raises(ValueError, match="lo"):
+            lp.add_range_constraint({j: 1.0}, lo, hi)
+
+    def test_uncollected_collapse_falls_back_to_warning(self):
+        from repro.check import DiagnosticWarning
+
+        lp = LinearProgram()
+        j = lp.add_variable()
+        with pytest.warns(DiagnosticWarning, match="BD006"):
+            lp.add_range_constraint({j: 1.0}, 1.0, 1.0 - 1e-12)
