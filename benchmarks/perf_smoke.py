@@ -9,6 +9,16 @@ Also proves the process pool end to end: ``solve_many`` with workers
 must reproduce the serial costs bit for bit, and a deliberately hung
 task must come back ``timed_out`` with its worker killed.
 
+Two sweep-engine gates ride along (see docs/PERFORMANCE.md):
+
+* **warm vs cold** — a 16-point fig8-style bound sweep at 64 sinks must
+  run at least ``--sweep-factor`` (default 2x) faster warm-started than
+  cold, with bit-identical canonical per-point costs; fresh timings are
+  written to ``BENCH_sweep.json`` at the repo root.
+* **racing equivalence** — ``race="auto"`` must return the same
+  canonical cost as the sequential solve and record every backend,
+  cancelled losers included.
+
 No pytest / pytest-benchmark needed — plain stdlib + repro, so the CI
 job installs numpy and scipy only:
 
@@ -24,12 +34,17 @@ import time
 from pathlib import Path
 
 from repro.data import load_benchmark
-from repro.ebf import DelayBounds, solve_lubt
+from repro.ebf import DelayBounds, canonical_cost, solve_lubt, solve_sweep
 from repro.geometry import manhattan_radius_from
 from repro.perf import SolveTask, run_many, solve_many
 from repro.topology import nearest_neighbor_topology
 
 REPO_ROOT = Path(__file__).parent.parent
+
+#: The fig8-style sweep gate: 2 widths x 8 lower bounds = 16 points.
+SWEEP_WIDTHS = (0.1, 0.5)
+SWEEP_LOWERS = (1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.25, 0.0)
+SWEEP_SINKS = 64
 
 
 def _instance(size: int) -> SolveTask:
@@ -102,6 +117,131 @@ def check_pool(sizes, jobs: int) -> list[str]:
     return failures
 
 
+def _sweep_instance(size: int):
+    bench = load_benchmark("prim1").scaled(size)
+    sinks = list(bench.sinks)
+    topo = nearest_neighbor_topology(sinks, bench.source)
+    radius = manhattan_radius_from(bench.source, sinks)
+    grid = [(w, lo) for w in SWEEP_WIDTHS for lo in SWEEP_LOWERS]
+    bounds_list = [
+        DelayBounds.uniform(size, lo * radius, max(lo + w, 1.0) * radius)
+        for w, lo in grid
+    ]
+    return topo, grid, bounds_list
+
+
+def check_sweep(
+    factor: float, repeats: int, out_path: Path | None
+) -> list[str]:
+    """Warm-started sweep gate: >= ``factor``x faster than cold at 64
+    sinks, canonical per-point costs bit-identical; fresh timings land
+    in ``BENCH_sweep.json``."""
+    failures = []
+    topo, grid, bounds_list = _sweep_instance(SWEEP_SINKS)
+
+    def _run(warm: bool) -> tuple[float, list]:
+        best, sols = float("inf"), None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            sols = solve_sweep(
+                topo, bounds_list, warm=warm, check_bounds=False
+            )
+            best = min(best, time.perf_counter() - t0)
+        return best, sols
+
+    cold_seconds, cold = _run(False)
+    warm_seconds, warm = _run(True)
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+
+    mismatches = [
+        i
+        for i, (c, w) in enumerate(zip(cold, warm))
+        if canonical_cost(c.cost) != canonical_cost(w.cost)
+    ]
+    if mismatches:
+        failures.append(
+            f"warm sweep canonical costs differ from cold at points "
+            f"{mismatches}"
+        )
+    if speedup < factor:
+        failures.append(
+            f"warm sweep speedup {speedup:.2f}x < required {factor:g}x "
+            f"(cold {cold_seconds:.3f}s, warm {warm_seconds:.3f}s)"
+        )
+    print(
+        f"warm sweep ({len(bounds_list)} points, {SWEEP_SINKS} sinks): "
+        f"cold {cold_seconds:.3f}s, warm {warm_seconds:.3f}s, "
+        f"{speedup:.2f}x, costs "
+        + ("bit-identical" if not mismatches else "DIFFER")
+    )
+
+    if out_path is not None:
+        data = {
+            "protocol": (
+                f"prim1[{SWEEP_SINKS}], fig8-style grid "
+                f"widths={list(SWEEP_WIDTHS)} x lowers={list(SWEEP_LOWERS)}, "
+                f"lazy mode, best of {repeats}"
+            ),
+            "points": len(bounds_list),
+            "sinks": SWEEP_SINKS,
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "speedup": speedup,
+            "required_speedup": factor,
+            "costs_bit_identical": not mismatches,
+            "sweep": [
+                {
+                    "width": w,
+                    "lower": lo,
+                    "canonical_cost": canonical_cost(c.cost),
+                    "cold_rounds": c.stats.rounds,
+                    "warm_rounds": wm.stats.rounds,
+                    "warm_rows": wm.stats.warm_rows,
+                }
+                for (w, lo), c, wm in zip(grid, cold, warm)
+            ],
+        }
+        out_path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out_path}")
+    return failures
+
+
+def check_race() -> list[str]:
+    """Racing equivalence: ``race="auto"`` must return the sequential
+    answer (canonically) and record both backends per LP."""
+    failures = []
+    topo, _, bounds_list = _sweep_instance(32)
+    bounds = bounds_list[0]
+    seq = solve_lubt(topo, bounds, check_bounds=False)
+    raced = solve_lubt(topo, bounds, check_bounds=False, race="auto")
+    if canonical_cost(seq.cost) != canonical_cost(raced.cost):
+        failures.append(
+            f"raced cost {raced.cost!r} != sequential {seq.cost!r} "
+            "(canonical)"
+        )
+    if not raced.solve_reports:
+        failures.append("race='auto' produced no solve reports")
+    for rep in raced.solve_reports:
+        if len(rep.attempts) < 2:
+            failures.append(
+                "race report is missing the losing backend: "
+                + ", ".join(a.backend for a in rep.attempts)
+            )
+            break
+    cancelled = sum(
+        1
+        for rep in raced.solve_reports
+        for a in rep.attempts
+        if a.outcome == "cancelled"
+    )
+    print(
+        f"racing equivalence: {len(raced.solve_reports)} LP(s), "
+        f"{cancelled} cancelled loser(s), costs "
+        + ("match" if not failures else "DIFFER")
+    )
+    return failures
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--sizes", default="16,32,64",
@@ -114,11 +254,22 @@ def main(argv=None) -> int:
                     help="fail when fresh/committed exceeds this (default 2.0)")
     ap.add_argument("--repeats", type=int, default=3,
                     help="best-of-N timing repeats (default 3)")
+    ap.add_argument("--sweep-factor", type=float, default=2.0,
+                    help="warm sweep must beat cold by this factor "
+                    "(default 2.0)")
+    ap.add_argument("--sweep-out", type=Path,
+                    default=REPO_ROOT / "BENCH_sweep.json",
+                    help="where to write fresh sweep timings")
+    ap.add_argument("--skip-sweep", action="store_true",
+                    help="skip the warm-vs-cold sweep and racing gates")
     args = ap.parse_args(argv)
     sizes = [int(s) for s in args.sizes.split(",")]
 
     failures = check_timings(sizes, args.baseline, args.factor, args.repeats)
     failures += check_pool(sizes, args.jobs)
+    if not args.skip_sweep:
+        failures += check_sweep(args.sweep_factor, args.repeats, args.sweep_out)
+        failures += check_race()
 
     if failures:
         print("\nperf smoke FAILED:", file=sys.stderr)

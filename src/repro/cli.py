@@ -3,7 +3,7 @@
 Subcommands map one-to-one onto the experiment drivers:
 
     lubt solve  --bench prim1 --lower 0.9 --upper 1.1 [--sinks 64]
-                [--resilient] [--lp-timeout S] [--diagnose]
+                [--resilient] [--race] [--lp-timeout S] [--diagnose]
     lubt table1 --bench prim1 [--sinks 64] [--jobs N]
     lubt table2 --bench prim2 --skew 0.5 [--sinks 64] [--jobs N]
     lubt table3 --bench r1 [--sinks 64] [--jobs N]
@@ -23,7 +23,7 @@ import sys
 
 from repro.analysis import Table
 from repro.data import benchmark_names, load_benchmark
-from repro.ebf import DelayBounds, solve_lubt
+from repro.ebf import DelayBounds
 from repro.experiments import (
     render_table1,
     render_table2,
@@ -72,6 +72,7 @@ def _load(args) -> object:
 
 
 def _cmd_solve(args) -> int:
+    from repro.embedding import solve_and_embed
     from repro.resilience import AllBackendsFailedError
 
     source, sinks, name = _load_instance_sinks(args)
@@ -82,13 +83,14 @@ def _cmd_solve(args) -> int:
     )
     on_infeasible = "relax" if args.diagnose else "raise"
     try:
-        sol = solve_lubt(
+        sol, tree = solve_and_embed(
             topo,
             bounds,
             check_bounds=False,
             resilient=args.resilient,
             lp_timeout=args.lp_timeout,
             on_infeasible=on_infeasible,
+            race="auto" if args.race else None,
         )
     except AllBackendsFailedError as exc:
         print("solve failed — every LP backend was exhausted:", file=sys.stderr)
@@ -110,15 +112,33 @@ def _cmd_solve(args) -> int:
     t.add_row("Steiner rows used", sol.stats.steiner_rows)
     t.add_row("of possible", sol.stats.total_pairs)
     t.add_row("backend", sol.stats.backend)
-    if args.resilient:
+    t.add_row("LP seconds", f"{sol.stats.lp_seconds:.4f}")
+    t.add_row("embed seconds", f"{sol.stats.embed_seconds:.4f}")
+    if args.resilient or args.race:
         t.add_row("LP fallbacks", sol.stats.lp_fallbacks)
+    if args.race:
+        from collections import Counter
+
+        wins = Counter(
+            r.result.backend
+            for r in sol.solve_reports
+            if r.result is not None
+        )
+        cancelled = sum(
+            1
+            for r in sol.solve_reports
+            for a in r.attempts
+            if a.outcome == "cancelled"
+        )
+        t.add_row(
+            "race winners",
+            ", ".join(f"{b} x{n}" for b, n in sorted(wins.items()))
+            + f" ({cancelled} cancelled)",
+        )
     print(t)
     if sol.diagnosis is not None:
         # Graceful degradation must end in a routable tree, not just an
-        # LP answer: embed under the relaxed bounds and confirm.
-        from repro.embedding import embed_tree
-
-        tree = embed_tree(topo, sol.edge_lengths)
+        # LP answer; the embedded relaxed tree proves it.
         print(
             f"embedded relaxed tree: {len(tree.placements)} nodes, "
             f"drawn wirelength {tree.drawn_wirelength:,.1f}"
@@ -378,6 +398,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="solve LPs through the backend fallback chain "
         "(simplex -> scipy, with retries)",
+    )
+    p.add_argument(
+        "--race",
+        action="store_true",
+        help="race the LP backends concurrently and take the first "
+        "definitive answer (losers are cancelled and recorded)",
     )
     p.add_argument(
         "--lp-timeout",

@@ -10,6 +10,8 @@ The LUBT problem is solved as a linear program whose variables are the
 Public entry points:
 
 * :func:`solve_lubt` — LUBT under the linear delay model (LP, optimal);
+* :func:`solve_sweep` / :class:`WarmStart` — warm-started bound sweeps
+  on a fixed topology (each solve seeds the next one's lazy loop);
 * :func:`solve_zero_skew` — the Section 4.6 zero-skew special case via
   direct bottom-up equations (no optimization);
 * :func:`solve_lubt_elmore` — the Section 7 Elmore-delay extension (NLP);
@@ -27,6 +29,7 @@ from repro.ebf.constraints import (
 )
 from repro.ebf.formulation import build_ebf_lp
 from repro.ebf.solver import LubtSolution, solve_lubt
+from repro.ebf.sweep import WarmStart, canonical_cost, solve_sweep
 from repro.ebf.zero_skew import solve_zero_skew
 from repro.ebf.elmore import solve_lubt_elmore, ElmoreSolution
 
@@ -41,6 +44,9 @@ __all__ = [
     "build_ebf_lp",
     "LubtSolution",
     "solve_lubt",
+    "WarmStart",
+    "canonical_cost",
+    "solve_sweep",
     "solve_zero_skew",
     "solve_lubt_elmore",
     "ElmoreSolution",

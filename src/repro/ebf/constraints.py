@@ -169,7 +169,10 @@ def steiner_violations(
     """
     d = node_delays_linear(topo, edge_lengths)
     su, sv = _sink_uv(topo)
-    out: list[tuple] = []
+    ii_parts: list[np.ndarray] = []
+    jj_parts: list[np.ndarray] = []
+    kk_parts: list[np.ndarray] = []
+    vv_parts: list[np.ndarray] = []
     for k, groups in _lca_groups(topo):
         arrays = [np.asarray(g) for g in groups]
         for a, b in itertools.combinations(arrays, 2):
@@ -180,15 +183,43 @@ def steiner_violations(
             )
             viol = dist - pathsum
             ia, ib = np.nonzero(viol > tol)
-            for x, y in zip(ia, ib):
-                if with_lca:
-                    out.append((int(a[x]), int(b[y]), k, float(viol[x, y])))
-                else:
-                    out.append((int(a[x]), int(b[y]), float(viol[x, y])))
-    out.sort(key=lambda t: -t[-1])
-    if limit is not None:
-        out = out[:limit]
-    return out
+            if not len(ia):
+                continue
+            # Column-stacked, in the scan (row-major) order the old
+            # per-element loop produced — the order ties are broken in.
+            ii_parts.append(a[ia])
+            jj_parts.append(b[ib])
+            kk_parts.append(np.full(len(ia), k, dtype=np.int64))
+            vv_parts.append(viol[ia, ib])
+    if not ii_parts:
+        return []
+    ii = np.concatenate(ii_parts)
+    jj = np.concatenate(jj_parts)
+    kk = np.concatenate(kk_parts)
+    vv = np.concatenate(vv_parts)
+
+    if limit is not None and len(vv) > limit:
+        # Threshold selection via partition instead of a full sort.  To
+        # reproduce the previous stable-sort-then-slice semantics exactly,
+        # keep everything strictly above the limit-th largest violation,
+        # then fill the remainder with threshold ties in scan order.
+        neg = -vv
+        thresh = np.partition(neg, limit - 1)[limit - 1]
+        sel = np.flatnonzero(neg < thresh)
+        need = limit - len(sel)
+        if need > 0:
+            sel = np.sort(
+                np.concatenate([sel, np.flatnonzero(neg == thresh)[:need]])
+            )
+        order = sel[np.argsort(neg[sel], kind="stable")]
+    else:
+        order = np.argsort(-vv, kind="stable")
+
+    if with_lca:
+        return [
+            (int(ii[t]), int(jj[t]), int(kk[t]), float(vv[t])) for t in order
+        ]
+    return [(int(ii[t]), int(jj[t]), float(vv[t])) for t in order]
 
 
 def max_steiner_violation(topo: Topology, edge_lengths: np.ndarray) -> float:

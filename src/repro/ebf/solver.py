@@ -50,10 +50,17 @@ class SolveStats:
     #: Wall-clock spent inside LP backends, total and per lazy round.
     lp_seconds: float = 0.0
     round_lp_seconds: tuple[float, ...] = ()
+    #: Steiner rows seeded from a :class:`~repro.ebf.sweep.WarmStart`
+    #: carry-over before the first LP solve (lazy mode only).
+    warm_rows: int = 0
+    #: Wall-clock of the embedding stage.  The solver itself never embeds;
+    #: :func:`repro.embedding.solve_and_embed` stamps this in afterwards.
+    embed_seconds: float = 0.0
 
     @property
     def assembly_seconds(self) -> float:
-        """Non-LP time: row generation, violation scans, bookkeeping."""
+        """Non-LP time inside the solve: row generation, violation scans,
+        bookkeeping (embedding excluded — it happens after the solve)."""
         return max(0.0, self.wall_seconds - self.lp_seconds)
 
 
@@ -117,6 +124,8 @@ def solve_lubt(
     resilient: bool = False,
     lp_timeout: float | None = None,
     on_infeasible: str = "raise",
+    warm=None,
+    race: str | None = None,
 ) -> LubtSolution:
     """Solve the LUBT problem for a fixed topology (Definition 2.1).
 
@@ -157,7 +166,30 @@ def solve_lubt(
         with ``err.diagnosis`` populated; ``"relax"`` degrades gracefully
         — it re-solves under the minimally relaxed bounds and returns
         that solution with ``solution.diagnosis`` set.
+    warm:
+        A :class:`repro.ebf.sweep.WarmStart` carry-over (or ``None``).
+        In lazy mode its remembered active pair set — the Steiner rows
+        previous solves on the *same topology* discovered — is added
+        alongside the seed rows before the first LP solve, which
+        typically collapses a sweep's follow-up solves to one round.
+        After convergence the rows this solve discovered are absorbed
+        back, so the object learns across a sweep.  Sound regardless of
+        bounds: Steiner rows depend only on the topology, never on the
+        delay bounds, so a carried row is always a valid (if possibly
+        slack) constraint.  Ignored in full mode (all rows are present
+        anyway).
+    race:
+        ``"auto"`` races the backend cascade concurrently on every LP —
+        first definitive answer wins, losers are cancelled and recorded
+        (see :func:`repro.resilience.solve_lp_resilient`).  Implies
+        ``resilient=True`` (racing lives in the resilient pipeline);
+        every race's :class:`~repro.resilience.SolveReport` lands in
+        ``solution.solve_reports``, cancelled losers included.
     """
+    if race not in (None, "off", "auto"):
+        raise ValueError(f"unknown race mode {race!r}")
+    if race == "auto":
+        resilient = True
     if on_infeasible not in ("raise", "diagnose", "relax"):
         raise ValueError(f"unknown on_infeasible {on_infeasible!r}")
     if mode not in ("lazy", "full"):
@@ -185,6 +217,8 @@ def solve_lubt(
         keep_lp=keep_lp,
         resilient=resilient,
         lp_timeout=lp_timeout,
+        warm=warm,
+        race=race,
     )
     if check_bounds:
         try:
@@ -207,7 +241,8 @@ def solve_lubt(
             from repro.resilience import backend_chain, solve_lp_resilient
 
             report = solve_lp_resilient(
-                lp, backend_chain(lp, resolved), timeout=lp_timeout
+                lp, backend_chain(lp, resolved), timeout=lp_timeout,
+                race=race,
             )
             reports.append(report)
             return report.result
@@ -215,6 +250,7 @@ def solve_lubt(
             round_lp_seconds.append(time.perf_counter() - t0)
 
     start = time.perf_counter()
+    warm_rows = 0
     try:
         if mode == "full":
             pairs = list(all_sink_pairs(topo))
@@ -235,6 +271,22 @@ def solve_lubt(
             )
             if validate == "strict":
                 _check_built_lp(lp)
+            # Already-added pairs, orientation-normalized: violation
+            # tolerance jitter must not append duplicate Steiner rows.
+            seen = {(i, j) if i < j else (j, i) for i, j in pairs}
+            if warm is not None:
+                carried = [
+                    (i, j, k)
+                    for i, j, k in warm.pairs_for(topo)
+                    if ((i, j) if i < j else (j, i)) not in seen
+                ]
+                if carried:
+                    add_steiner_rows(lp, topo, carried)
+                    seen.update(
+                        (i, j) if i < j else (j, i) for i, j, _ in carried
+                    )
+                    pairs = pairs + [(i, j) for i, j, _ in carried]
+                    warm_rows = len(carried)
             total_pairs = topo.num_sinks * (topo.num_sinks - 1) // 2
             # Resolve "auto" once, against the row count the lazy loop is
             # heading toward, and stick with it: re-deciding per round
@@ -246,11 +298,9 @@ def solve_lubt(
                     batch, max(0, total_pairs - len(pairs))
                 )
                 resolved = preferred_backend(lp, projected_rows=projected)
-            # Already-added pairs, orientation-normalized: violation
-            # tolerance jitter must not append duplicate Steiner rows.
-            seen = {(i, j) if i < j else (j, i) for i, j in pairs}
             iters = 0
             e = None
+            discovered: list[tuple[int, int, int]] = []
             for rounds in range(1, max_rounds + 1):
                 result = _solve(lp, resolved).require_optimal()
                 iters += result.iterations
@@ -280,12 +330,17 @@ def solve_lubt(
                     (i, j) if i < j else (j, i) for i, j, _ in fresh
                 )
                 pairs += [(i, j) for i, j, _ in fresh]
+                discovered += fresh
             else:
                 raise RuntimeError(
                     f"lazy row generation did not converge in "
                     f"{max_rounds} rounds"
                 )
             assert e is not None
+            if warm is not None:
+                # Steiner rows are topology facts, so rows found under
+                # these bounds remain valid for every later sweep point.
+                warm.absorb(topo, discovered)
     except InfeasibleError:
         if on_infeasible == "raise":
             raise
@@ -310,6 +365,7 @@ def solve_lubt(
         lp_fallbacks=sum(r.fallbacks_used for r in reports),
         lp_seconds=sum(round_lp_seconds),
         round_lp_seconds=tuple(round_lp_seconds),
+        warm_rows=warm_rows,
     )
     return LubtSolution(
         topo,

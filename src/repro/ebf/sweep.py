@@ -1,0 +1,124 @@
+"""Warm-started bound sweeps over a fixed topology.
+
+The Figure 8 tradeoff curves and the Table 2/3 drivers solve the *same*
+topology dozens of times under different delay bounds.  The lazy solver
+(Section 4.6 row generation) re-discovers essentially the same active
+Steiner rows at every sweep point: the binding pairs depend mostly on the
+sink geometry, only weakly on the bounds.  :class:`WarmStart` carries the
+accumulated active pair set from solve to solve, and
+:func:`repro.ebf.solver.solve_lubt` seeds its lazy loop with it — after
+the first point, most solves converge in a single round.
+
+Soundness: a Steiner row ``pathlength(s_i, s_j) >= dist(s_i, s_j)`` is a
+fact about the topology, never about the bounds, so carrying rows across
+bound changes can only *tighten* the relaxation toward the true feasible
+set — the converged optimum is unchanged.  What warm-starting *can*
+change is which vertex of a degenerate optimal face the backend returns,
+i.e. the raw cost float can wiggle at the last few ulps.
+:func:`canonical_cost` quantizes that noise away (keeping ~1e-10 relative
+precision, four orders finer than the solver's 1e-6 feasibility
+tolerances); sweep-level consumers report canonical costs so warm and
+cold sweeps are bit-identical.  See docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.ebf.bounds import DelayBounds
+from repro.ebf.solver import LubtSolution, solve_lubt
+
+#: Significant mantissa bits kept by :func:`canonical_cost` — 33 bits is
+#: ~1e-10 relative resolution: far above the ~1e-16 degenerate-vertex
+#: noise it exists to cancel, far below the 1e-6 LP tolerances that
+#: bound any *real* cost difference.
+CANONICAL_BITS = 33
+
+
+def canonical_cost(cost: float, bits: int = CANONICAL_BITS) -> float:
+    """Round ``cost`` to ``bits`` significant mantissa bits.
+
+    Deterministic (round-half-even on an exact power-of-two grid, no
+    float-decimal round-trip) and scale-free.  Used to report sweep costs
+    invariantly to which vertex of a degenerate optimal face the LP
+    backend happened to return — warm-started, cold, and differently
+    sharded sweeps all quantize to the same float.
+    """
+    if not math.isfinite(cost) or not cost:
+        return cost
+    # cost = m * 2**exp with 0.5 <= |m| < 1; shift so the integer part
+    # holds exactly `bits` bits, round, shift back.  All steps exact
+    # except the round itself.
+    _, exp = math.frexp(cost)
+    scaled = math.ldexp(cost, bits - exp)
+    return math.ldexp(float(round(scaled)), exp - bits)
+
+
+@dataclass
+class WarmStart:
+    """Carry-over state for a bound sweep on one topology.
+
+    Holds the orientation-normalized active Steiner pair set — every
+    ``(i, j, lca)`` row the lazy loop discovered beyond its per-solve
+    seeds — in discovery order, so re-seeding is deterministic.  The
+    state is keyed to the topology by identity: handing the object a
+    different topology resets it (rows are meaningless across
+    topologies), which makes one ``WarmStart`` safe to thread through
+    heterogeneous drivers like the Table 1 suite.
+    """
+
+    #: Topology the carried rows belong to (identity-compared).
+    topology: object | None = field(default=None, repr=False)
+    #: Carried ``(i, j, lca)`` rows in first-discovery order.
+    pairs: list[tuple[int, int, int]] = field(default_factory=list)
+    _seen: set[tuple[int, int]] = field(default_factory=set, repr=False)
+    #: Solves that absorbed into this object (diagnostics only).
+    solves: int = 0
+
+    def _rekey(self, topo) -> None:
+        if self.topology is not topo:
+            self.topology = topo
+            self.pairs = []
+            self._seen = set()
+
+    def pairs_for(self, topo) -> list[tuple[int, int, int]]:
+        """The carried rows, valid for ``topo`` (empty after a reset)."""
+        self._rekey(topo)
+        return self.pairs
+
+    def absorb(self, topo, new_pairs: Iterable[tuple[int, int, int]]) -> None:
+        """Merge rows a solve discovered; duplicates are dropped."""
+        self._rekey(topo)
+        for i, j, k in new_pairs:
+            key = (i, j) if i < j else (j, i)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.pairs.append((i, j, k))
+        self.solves += 1
+
+
+def solve_sweep(
+    topo,
+    bounds_seq: Sequence[DelayBounds],
+    *,
+    warm: "WarmStart | bool | None" = True,
+    **solve_kwargs,
+) -> list[LubtSolution]:
+    """Solve one topology under a sequence of delay bounds, warm-started.
+
+    ``warm=True`` (default) threads a fresh :class:`WarmStart` through
+    the sequence; pass an existing :class:`WarmStart` to continue
+    accumulating across calls, or ``False``/``None`` to solve each point
+    cold.  Any other :func:`~repro.ebf.solver.solve_lubt` keyword passes
+    through unchanged.
+    """
+    if warm is True:
+        warm = WarmStart()
+    elif warm is False:
+        warm = None
+    return [
+        solve_lubt(topo, bounds, warm=warm, **solve_kwargs)
+        for bounds in bounds_seq
+    ]

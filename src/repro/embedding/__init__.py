@@ -13,8 +13,17 @@ satisfy the Steiner constraints; :func:`verify_embedding` checks the
 resulting placement (``e_k >= dist(s_k, parent)``) explicitly.
 """
 
-from repro.embedding.feasible import EmbeddingError, feasible_regions
-from repro.embedding.placement import place_points, PLACEMENT_POLICIES
+from repro.embedding.feasible import (
+    EmbeddingError,
+    feasible_regions,
+    feasible_regions_scalar,
+)
+from repro.embedding.kernel import embed_placements, feasible_bounds, place_xy
+from repro.embedding.placement import (
+    place_points,
+    place_points_scalar,
+    PLACEMENT_POLICIES,
+)
 from repro.embedding.verify import verify_embedding, embedding_violations
 from repro.embedding.pipeline import EmbeddedTree, embed_tree, solve_and_embed
 from repro.embedding.serpentine import serpentine_route, polyline_length
@@ -24,7 +33,12 @@ __all__ = [
     "polyline_length",
     "EmbeddingError",
     "feasible_regions",
+    "feasible_regions_scalar",
+    "feasible_bounds",
+    "place_xy",
+    "embed_placements",
     "place_points",
+    "place_points_scalar",
     "PLACEMENT_POLICIES",
     "verify_embedding",
     "embedding_violations",

@@ -34,6 +34,26 @@ def feasible_regions(topo: Topology, edge_lengths) -> dict[int, TRR]:
     source the root's region is additionally intersected with the source
     point; Theorem 4.1 plus the fixed-source delay strengthening (see
     :mod:`repro.ebf.formulation`) keeps it non-empty for EBF solutions.
+
+    This is a :class:`TRR` view over the array kernel
+    (:func:`repro.embedding.kernel.feasible_bounds`), bit-identical to
+    :func:`feasible_regions_scalar`.
+    """
+    from repro.embedding.kernel import feasible_bounds  # cycle: kernel imports us
+
+    fb = feasible_bounds(topo, edge_lengths)
+    return {
+        k: TRR(fb[k, 0], fb[k, 1], fb[k, 2], fb[k, 3])  # noqa: RL006 (view layer)
+        for k in range(topo.num_nodes)
+    }
+
+
+def feasible_regions_scalar(topo: Topology, edge_lengths) -> dict[int, TRR]:
+    """The per-node scalar sweep — reference path for the array kernel.
+
+    Kept verbatim so ``tests/test_embedding_kernel.py`` can pin the
+    kernel's bit-compatibility against it; production callers go through
+    :func:`feasible_regions`.
     """
     e = np.asarray(edge_lengths, dtype=float)
     if e.shape != (topo.num_nodes,):
@@ -44,7 +64,7 @@ def feasible_regions(topo: Topology, edge_lengths) -> dict[int, TRR]:
     fr: dict[int, TRR] = {}
     for k in topo.postorder():
         if topo.is_sink(k):
-            fr[k] = TRR.from_point(topo.sink_location(k))
+            fr[k] = TRR.from_point(topo.sink_location(k))  # noqa: RL006 (scalar reference path)
             continue
         kids = topo.children(k)
         if not kids:
@@ -53,7 +73,7 @@ def feasible_regions(topo: Topology, edge_lengths) -> dict[int, TRR]:
         for c in kids[1:]:
             region = region.intersect(fr[c].expanded(max(0.0, e[c])))
         if k == 0 and topo.source_location is not None:
-            region = region.intersect(TRR.from_point(topo.source_location))
+            region = region.intersect(TRR.from_point(topo.source_location))  # noqa: RL006 (scalar reference path)
         if region.is_empty():
             raise EmbeddingError(
                 f"feasible region of node {k} is empty: the edge lengths "
@@ -82,7 +102,7 @@ def feasible_region_via_sinks(topo: Topology, edge_lengths, k: int) -> TRR:
         while node != k:
             radius += e[node]
             node = topo.parent(node)  # type: ignore[assignment]
-        ball = TRR.square(topo.sink_location(i), radius)
+        ball = TRR.square(topo.sink_location(i), radius)  # noqa: RL006 (Eq. 13 test helper)
         region = ball if region is None else region.intersect(ball)
     assert region is not None
     return region

@@ -6,15 +6,15 @@ then feasible regions + top-down placement for coordinates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.delay import sink_delays_linear
 from repro.ebf.bounds import DelayBounds
 from repro.ebf.solver import LubtSolution, solve_lubt
-from repro.embedding.feasible import feasible_regions
-from repro.embedding.placement import place_points
+from repro.embedding.kernel import embed_placements
 from repro.embedding.verify import verify_embedding
 from repro.geometry import Point, manhattan
 from repro.topology import Topology
@@ -70,8 +70,7 @@ def embed_tree(
     resulting placement is valid.
     """
     e = np.asarray(edge_lengths, dtype=float)
-    fr = feasible_regions(topo, e)
-    placements = place_points(topo, e, fr, policy=policy)
+    placements = embed_placements(topo, e, policy=policy)
     if verify:
         verify_embedding(topo, e, placements, tol=1e-5)
     return EmbeddedTree(topo, e, placements)
@@ -104,5 +103,8 @@ def solve_and_embed(
         on_infeasible=on_infeasible,
         **solve_kwargs,
     )
+    t0 = time.perf_counter()
     tree = embed_tree(topo, sol.edge_lengths, policy=policy)
+    embed_seconds = time.perf_counter() - t0
+    sol = replace(sol, stats=replace(sol.stats, embed_seconds=embed_seconds))
     return sol, tree

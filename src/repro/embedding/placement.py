@@ -38,6 +38,37 @@ def place_points(
     """Return a location for every node, consistent with ``edge_lengths``.
 
     ``fr`` is the output of :func:`repro.embedding.feasible_regions`.
+    Runs on the array kernel (:func:`repro.embedding.kernel.place_xy`),
+    bit-identical to :func:`place_points_scalar`.
+    """
+    if policy not in PLACEMENT_POLICIES:
+        raise ValueError(f"unknown placement policy {policy!r}")
+    from repro.embedding.kernel import place_xy  # cycle: kernel imports feasible
+
+    fb = np.empty((topo.num_nodes, 4), dtype=np.float64)
+    for k in range(topo.num_nodes):
+        t = fr[k]
+        fb[k, 0] = t.ulo
+        fb[k, 1] = t.uhi
+        fb[k, 2] = t.vlo
+        fb[k, 3] = t.vhi
+    xy = place_xy(topo, edge_lengths, fb, policy=policy)
+    return {
+        k: Point(float(xy[k, 0]), float(xy[k, 1])) for k in range(topo.num_nodes)
+    }
+
+
+def place_points_scalar(
+    topo: Topology,
+    edge_lengths,
+    fr: dict[int, TRR],
+    policy: str = "nearest",
+) -> dict[int, Point]:
+    """The per-node scalar sweep — reference path for the array kernel.
+
+    Kept verbatim so ``tests/test_embedding_kernel.py`` can pin the
+    kernel's bit-compatibility against it; production callers go through
+    :func:`place_points`.
     """
     if policy not in PLACEMENT_POLICIES:
         raise ValueError(f"unknown placement policy {policy!r}")
@@ -53,7 +84,7 @@ def place_points(
         if node == 0:
             continue
         parent_at = placements[topo.parent(node)]  # placed before (preorder)
-        ball = TRR.square(parent_at, max(0.0, e[node]) + _SLACK)
+        ball = TRR.square(parent_at, max(0.0, e[node]) + _SLACK)  # noqa: RL006 (scalar reference path)
         region = fr[node].intersect(ball)
         if region.is_empty():
             raise EmbeddingError(

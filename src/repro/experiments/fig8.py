@@ -15,9 +15,9 @@ from dataclasses import dataclass
 
 from repro.analysis.tables import Table
 from repro.data import Benchmark
-from repro.ebf import DelayBounds, solve_lubt
+from repro.ebf import DelayBounds, canonical_cost
 from repro.geometry import manhattan_radius_from
-from repro.perf import map_many
+from repro.perf import solve_sweep_sharded
 from repro.topology import nearest_neighbor_topology
 
 #: Window widths (skew budgets) and lower-bound sweep, normalized.
@@ -34,35 +34,48 @@ class Fig8Point:
     cost: float
 
 
-def _fig8_point_at(bench: Benchmark, topo, radius, w, lo, backend) -> Fig8Point:
-    """One sweep point (module-level so it pickles).  The window is
-    ``[l, max(l + w, 1)]`` so every point is feasible (Eq. 3 needs
-    u >= 1 in radius units)."""
-    hi = max(lo + w, 1.0)
-    bounds = DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
-    sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
-    return Fig8Point(bench.name, w, lo, hi, sol.cost)
-
-
 def run_fig8(
     bench: Benchmark,
     widths=DEFAULT_WIDTHS,
     lowers=DEFAULT_LOWERS,
     backend: str = "auto",
     jobs: int = 1,
+    warm: bool = True,
 ) -> list[Fig8Point]:
-    """The tradeoff sweep.  ``jobs > 1`` solves the points in worker
-    processes; the shape checks run on the gathered series either way."""
+    """The tradeoff sweep, warm-started.
+
+    The grid is one fixed topology under many bound sets, so it runs as
+    a :func:`~repro.perf.solve_sweep_sharded` sweep: each solve seeds
+    the next one's lazy loop with its active Steiner rows (``warm=False``
+    solves every point cold).  Each window is ``[l, max(l + w, 1)]`` so
+    every point is feasible (Eq. 3 needs u >= 1 in radius units).
+    ``jobs > 1`` splits the sweep into contiguous shards, one worker
+    (and one process-local warm state) per shard.  Reported costs are
+    :func:`~repro.ebf.canonical_cost`-quantized, so warm, cold, and
+    sharded runs agree bit for bit; the shape checks run on the
+    gathered series either way.
+    """
     sinks = list(bench.sinks)
     radius = manhattan_radius_from(bench.source, sinks)
     topo = nearest_neighbor_topology(sinks, bench.source)
 
-    grid = [(w, lo) for w in widths for lo in lowers]
-    points = map_many(
-        _fig8_point_at,
-        [(bench, topo, radius, w, lo, backend) for w, lo in grid],
+    grid = [(w, lo, max(lo + w, 1.0)) for w in widths for lo in lowers]
+    bounds_list = [
+        DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
+        for _, lo, hi in grid
+    ]
+    sols = solve_sweep_sharded(
+        topo,
+        bounds_list,
         jobs=jobs,
+        warm=warm,
+        backend=backend,
+        check_bounds=False,
     )
+    points = [
+        Fig8Point(bench.name, w, lo, hi, canonical_cost(sol.cost))
+        for (w, lo, hi), sol in zip(grid, sols)
+    ]
     for start in range(0, len(points), len(lowers)):
         _check_series(points[start : start + len(lowers)])
     _check_across_widths(points)

@@ -16,9 +16,9 @@ from dataclasses import dataclass
 from repro.analysis.tables import Table
 from repro.baselines import bounded_skew_tree
 from repro.data import Benchmark
-from repro.ebf import DelayBounds, solve_lubt
+from repro.ebf import DelayBounds, canonical_cost
 from repro.geometry import manhattan_radius_from
-from repro.perf import map_many
+from repro.perf import solve_sweep_sharded
 
 #: The paper's window grids (lower-bound offsets, normalized).
 PAPER_WINDOWS = {
@@ -37,26 +37,23 @@ class Table2Row:
     from_baseline: bool  # the paper's '*' marker
 
 
-def _table2_window_row(
-    bench: Benchmark, topo, radius, skew_bound, lo, hi, starred, backend
-) -> Table2Row:
-    """One window of a Table 2 block (module-level so it pickles)."""
-    bounds = DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
-    sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
-    return Table2Row(bench.name, skew_bound, lo, hi, sol.cost, starred)
-
-
 def run_table2(
     bench: Benchmark,
     skew_bound: float,
     lower_offsets=None,
     backend: str = "auto",
     jobs: int = 1,
+    warm: bool = True,
 ) -> list[Table2Row]:
     """All windows for one (benchmark, skew bound) block of Table 2.
 
-    ``jobs > 1`` solves the windows in worker processes; the baseline
-    tree (which fixes the topology) is built once up front either way.
+    The block shares one topology (the baseline's), so the windows run
+    as a warm-started sweep — each solve seeds the next one's lazy loop
+    (``warm=False`` for cold solves); reported costs are
+    :func:`~repro.ebf.canonical_cost`-quantized so warm/cold/sharded
+    runs agree bit for bit.  ``jobs > 1`` solves contiguous window
+    shards in worker processes; the baseline tree (which fixes the
+    topology) is built once up front either way.
     """
     sinks = list(bench.sinks)
     radius = manhattan_radius_from(bench.source, sinks)
@@ -77,14 +74,24 @@ def run_table2(
     )
     windows.sort()
 
-    rows = map_many(
-        _table2_window_row,
-        [
-            (bench, topo, radius, skew_bound, lo, hi, starred, backend)
-            for lo, hi, starred in windows
-        ],
+    bounds_list = [
+        DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
+        for lo, hi, _ in windows
+    ]
+    sols = solve_sweep_sharded(
+        topo,
+        bounds_list,
         jobs=jobs,
+        warm=warm,
+        backend=backend,
+        check_bounds=False,
     )
+    rows = [
+        Table2Row(
+            bench.name, skew_bound, lo, hi, canonical_cost(sol.cost), starred
+        )
+        for (lo, hi, starred), sol in zip(windows, sols)
+    ]
     for row in rows:
         if row.from_baseline and row.cost > base.cost + 1e-6 * max(1.0, base.cost):
             raise AssertionError(

@@ -19,9 +19,9 @@ from dataclasses import dataclass
 
 from repro.analysis.tables import Table
 from repro.data import Benchmark
-from repro.ebf import DelayBounds, solve_lubt
+from repro.ebf import DelayBounds, canonical_cost
 from repro.geometry import manhattan_radius_from
-from repro.perf import map_many
+from repro.perf import solve_sweep_sharded
 from repro.topology import nearest_neighbor_topology
 
 #: The paper's (lower, upper) combinations, normalized to the radius.
@@ -45,30 +45,38 @@ class Table3Row:
     cost: float
 
 
-def _table3_combo_row(
-    bench: Benchmark, topo, radius, lo, hi, backend
-) -> Table3Row:
-    """One bound combination of Table 3 (module-level so it pickles)."""
-    bounds = DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
-    sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
-    return Table3Row(bench.name, lo, hi, sol.cost)
-
-
 def run_table3(
     bench: Benchmark,
     combos=PAPER_BOUND_COMBOS,
     backend: str = "auto",
     jobs: int = 1,
+    warm: bool = True,
 ) -> list[Table3Row]:
+    """All bound combinations for one benchmark, as a warm-started sweep
+    on the shared nearest-neighbor topology (``warm=False`` solves each
+    combination cold); costs are
+    :func:`~repro.ebf.canonical_cost`-quantized so warm/cold/sharded
+    runs agree bit for bit."""
     sinks = list(bench.sinks)
     radius = manhattan_radius_from(bench.source, sinks)
     topo = nearest_neighbor_topology(sinks, bench.source)
 
-    rows = map_many(
-        _table3_combo_row,
-        [(bench, topo, radius, lo, hi, backend) for lo, hi in combos],
+    bounds_list = [
+        DelayBounds.uniform(bench.num_sinks, lo * radius, hi * radius)
+        for lo, hi in combos
+    ]
+    sols = solve_sweep_sharded(
+        topo,
+        bounds_list,
         jobs=jobs,
+        warm=warm,
+        backend=backend,
+        check_bounds=False,
     )
+    rows = [
+        Table3Row(bench.name, lo, hi, canonical_cost(sol.cost))
+        for (lo, hi), sol in zip(combos, sols)
+    ]
     _check_shapes(rows)
     return rows
 

@@ -11,6 +11,8 @@ item).
   over argument tuples with per-task kill-on-timeout;
 * :func:`solve_many` — batch :func:`repro.ebf.solve_lubt` over
   :class:`SolveTask` instances;
+* :func:`solve_sweep_sharded` — warm-started bound sweep chunked into
+  contiguous shards, one :class:`~repro.ebf.WarmStart` per worker;
 * :class:`TaskOutcome` — per-task result/error/timeout record.
 
 Serial (``jobs=1``, no timeout) execution runs inline in the parent
@@ -20,7 +22,12 @@ either path match exactly.
 """
 
 from repro.perf.pool import TaskError, TaskOutcome, map_many, run_many
-from repro.perf.batch import SolveTask, solve_many
+from repro.perf.batch import (
+    SolveTask,
+    solve_many,
+    solve_sweep_sharded,
+    sweep_chunks,
+)
 
 __all__ = [
     "TaskError",
@@ -29,4 +36,6 @@ __all__ = [
     "run_many",
     "SolveTask",
     "solve_many",
+    "solve_sweep_sharded",
+    "sweep_chunks",
 ]

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
-from repro.perf.pool import TaskOutcome, run_many
+from repro.perf.pool import TaskOutcome, map_many, run_many
 
 
 @dataclass(frozen=True)
@@ -52,3 +52,71 @@ def solve_many(
         timeout=timeout,
         start_method=start_method,
     )
+
+
+def sweep_chunks(count: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(count)`` into ``chunks`` contiguous near-equal
+    ``(start, stop)`` slices (empty slices dropped).
+
+    Contiguity matters: a warm-started sweep shard works best when its
+    points are neighbors in the sweep, because adjacent bound sets share
+    almost all of their active Steiner rows.
+    """
+    if chunks < 1:
+        raise ValueError("chunks must be >= 1")
+    chunks = min(chunks, max(1, count))
+    base, extra = divmod(count, chunks)
+    out: list[tuple[int, int]] = []
+    start = 0
+    for c in range(chunks):
+        stop = start + base + (1 if c < extra else 0)
+        if stop > start:
+            out.append((start, stop))
+        start = stop
+    return out
+
+
+def _solve_sweep_chunk(topo, bounds_chunk, options):
+    from repro.ebf.sweep import solve_sweep
+
+    return solve_sweep(topo, bounds_chunk, **dict(options))
+
+
+def solve_sweep_sharded(
+    topo: Any,
+    bounds_list: Sequence[Any],
+    *,
+    jobs: int = 1,
+    chunks: int | None = None,
+    timeout: float | None = None,
+    start_method: str | None = None,
+    **options: Any,
+) -> list[Any]:
+    """Warm-started sweep over one topology, sharded across processes.
+
+    Unlike :func:`solve_many` — which ships every point to whichever
+    worker is free — this chunks the sweep into ``chunks`` (default:
+    ``jobs``) *contiguous* shards and runs each shard through
+    :func:`repro.ebf.solve_sweep` inside one worker, so the
+    :class:`~repro.ebf.WarmStart` state stays process-local and every
+    point after a shard's first still gets the warm seeding.  Extra
+    keywords (``warm=``, ``backend=``, ...) pass through to
+    :func:`~repro.ebf.solve_sweep`.
+
+    Returns the :class:`~repro.ebf.LubtSolution` list in sweep order.
+    ``jobs=1`` with no timeout runs inline — identical to calling
+    ``solve_sweep`` directly.  Raw edge vectors (and costs, at the last
+    ulp) can depend on the chunking because warm seeding selects among
+    degenerate LP optima; report costs through
+    :func:`repro.ebf.canonical_cost` for chunking-invariant output.
+    """
+    bounds_list = list(bounds_list)
+    spans = sweep_chunks(len(bounds_list), chunks if chunks else max(1, jobs))
+    shard_results = map_many(
+        _solve_sweep_chunk,
+        [(topo, bounds_list[a:b], options) for a, b in spans],
+        jobs=jobs,
+        timeout=timeout,
+        start_method=start_method,
+    )
+    return [sol for shard in shard_results for sol in shard]

@@ -111,6 +111,90 @@ def _unscale_result(raw: LpResult, s: float, lp: LinearProgram) -> LpResult:
     )
 
 
+def _race_backends(
+    lp: LinearProgram,
+    chain: Sequence[str],
+    solver_map: Mapping[str, Backend],
+    timeout: float | None,
+    feas_tol: float,
+    report: SolveReport,
+) -> LpResult | None:
+    """Run every chain backend on ``lp`` concurrently; first definitive
+    (optimal / infeasible / unbounded, post-validation) answer wins.
+
+    Losers are cancelled: like the fallback timeouts, cancellation is
+    thread-based — a running backend is abandoned and its eventual
+    result dropped, not killed.  Every backend becomes a
+    :class:`SolveAttempt`: the winner with its outcome, a loser with
+    its own failure outcome if it finished first, ``CANCELLED`` if it
+    was still running (or queued) when the winner crossed the line, or
+    ``TIMEOUT`` if the shared deadline expired with no winner.  Returns
+    the winning result, or ``None`` when no backend was definitive.
+    """
+    order = {name: pos for pos, name in enumerate(chain)}
+    start = time.perf_counter()
+    deadline = None if timeout is None else start + timeout
+    executor = concurrent.futures.ThreadPoolExecutor(max_workers=len(chain))
+    winner: LpResult | None = None
+    try:
+        futures = {
+            executor.submit(solver_map[name], lp): name for name in chain
+        }
+        pending = set(futures)
+        while pending and winner is None:
+            wait_for = None
+            if deadline is not None:
+                wait_for = max(0.0, deadline - time.perf_counter())
+            done, pending = concurrent.futures.wait(
+                pending,
+                timeout=wait_for,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            if not done:
+                break  # shared deadline expired
+            elapsed = time.perf_counter() - start
+            # Completion batches are unordered sets; settle ties by chain
+            # position so the report (and a photo-finish winner) is
+            # deterministic given the same completion batch.
+            for fut in sorted(done, key=lambda f: order[futures[f]]):
+                name = futures[fut]
+                try:
+                    raw = fut.result()
+                except Exception as exc:  # noqa: BLE001 — resilience boundary
+                    report.attempts.append(SolveAttempt(
+                        name, AttemptOutcome.EXCEPTION, elapsed,
+                        error=f"{type(exc).__name__}: {exc}",
+                    ))
+                    continue
+                outcome = _validated_outcome(lp, raw, feas_tol)
+                report.attempts.append(SolveAttempt(
+                    name, outcome, elapsed,
+                    error=raw.message
+                    if outcome is not AttemptOutcome.OPTIMAL
+                    else None,
+                    iterations=raw.iterations,
+                ))
+                if winner is None and outcome in AttemptOutcome.TERMINAL:
+                    winner = raw
+        elapsed = time.perf_counter() - start
+        for fut in sorted(pending, key=lambda f: order[futures[f]]):
+            fut.cancel()
+            name = futures[fut]
+            if winner is not None:
+                report.attempts.append(SolveAttempt(
+                    name, AttemptOutcome.CANCELLED, elapsed,
+                    error="lost the race — cancelled",
+                ))
+            else:
+                report.attempts.append(SolveAttempt(
+                    name, AttemptOutcome.TIMEOUT, elapsed,
+                    error=f"exceeded {timeout:g}s wall clock",
+                ))
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return winner
+
+
 def _call_with_timeout(fn: Backend, lp: LinearProgram, timeout: float | None):
     if timeout is None:
         return fn(lp)
@@ -153,6 +237,7 @@ def solve_lp_resilient(
     confirm_infeasible: bool = False,
     raise_on_failure: bool = True,
     feasibility_tol: float = 1e-6,
+    race: str | None = None,
 ) -> SolveReport:
     """Solve ``lp`` through a backend cascade; never die on one backend.
 
@@ -178,11 +263,23 @@ def solve_lp_resilient(
         Raise :class:`AllBackendsFailedError` (carrying the report) when
         no backend produced a definitive result; otherwise return the
         report with ``result=None``.
+    race:
+        ``None``/``"off"`` (default) runs the cascade sequentially.
+        ``"auto"`` races every chain backend *concurrently* on the same
+        LP and takes the first definitive (optimal/infeasible/unbounded)
+        validated answer, cancelling the losers — latency becomes the
+        *minimum* over backends instead of a sum over failures.  The
+        report records every backend, cancelled losers included.  Race
+        mode trades the sequential path's salvage machinery (rescale
+        retry, infeasibility second opinions) for latency; with a
+        single-backend chain it falls back to sequential.
 
     Returns the :class:`SolveReport`; ``report.result`` is the terminal
     :class:`LpResult`.  Feasibility validation uses ``feasibility_tol``
     scaled by the model's rhs magnitude.
     """
+    if race not in (None, "off", "auto"):
+        raise ValueError(f"unknown race mode {race!r}")
     solver_map = dict(default_solvers())
     if solvers:
         solver_map.update(solvers)
@@ -195,6 +292,18 @@ def solve_lp_resilient(
         (abs(lp.row(i)[2]) for i in range(lp.num_constraints)), default=0.0
     )
     feas_tol = feasibility_tol * (1.0 + rhs_mag)
+
+    if race == "auto" and len(chain) >= 2:
+        report = SolveReport()
+        winner = _race_backends(
+            lp, chain, solver_map, timeout, feas_tol, report
+        )
+        if winner is not None:
+            report.result = winner
+            return report
+        if raise_on_failure:
+            raise AllBackendsFailedError(report)
+        return report
 
     report = SolveReport()
     scaled_pair: tuple[LinearProgram, float] | None = None

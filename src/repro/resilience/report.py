@@ -29,6 +29,7 @@ class AttemptOutcome:
     EXCEPTION = "exception"  # backend raised
     TIMEOUT = "timeout"  # per-attempt wall clock exceeded
     INVALID = "invalid-solution"  # "optimal" with NaN/infeasible x
+    CANCELLED = "cancelled"  # lost a backend race; result discarded
 
     #: Outcomes that settle the model's fate — no further attempts needed.
     TERMINAL = frozenset({OPTIMAL, INFEASIBLE, UNBOUNDED})

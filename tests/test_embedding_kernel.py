@@ -1,0 +1,137 @@
+"""Kernel bit-compatibility: array sweeps vs the scalar reference paths.
+
+The array kernel (:mod:`repro.embedding.kernel`) replaced the per-node
+TRR passes with level-batched ``(n, 4)`` array sweeps; the contract is
+*bit-identical* output — exact float equality against the scalar
+reference implementations kept verbatim in ``feasible.py`` /
+``placement.py``, no tolerance anywhere.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebf import DelayBounds, solve_lubt
+from repro.ebf.bounds import radius_of
+from repro.embedding import EmbeddingError, feasible_regions, place_points
+from repro.embedding.feasible import feasible_regions_scalar
+from repro.embedding.kernel import embed_placements, feasible_bounds
+from repro.embedding.placement import place_points_scalar
+from repro.geometry import Point, manhattan
+from repro.topology import nearest_neighbor_topology
+
+
+def random_topo(m, seed, fixed=False):
+    rng = np.random.default_rng(seed)
+    pts = [Point(float(x), float(y)) for x, y in rng.integers(0, 80, (m, 2))]
+    src = Point(40.0, 40.0) if fixed else None
+    return nearest_neighbor_topology(pts, src)
+
+
+def random_bounds(topo, seed):
+    rng = np.random.default_rng(seed + 77)
+    r = radius_of(topo)
+    lo = float(rng.uniform(0, 1.2)) * r
+    hi = max(lo, r, float(rng.uniform(1.0, 2.0)) * r)
+    if topo.source_location is not None:
+        hi = max(
+            hi,
+            max(manhattan(topo.source_location, s) for s in topo.sink_locations),
+        )
+    return DelayBounds.uniform(topo.num_sinks, lo, hi)
+
+
+def assert_regions_bit_identical(fr_kernel, fr_scalar):
+    assert fr_kernel.keys() == fr_scalar.keys()
+    for k in fr_scalar:
+        a, b = fr_kernel[k], fr_scalar[k]
+        assert (a.ulo, a.uhi, a.vlo, a.vhi) == (b.ulo, b.uhi, b.vlo, b.vhi), (
+            f"node {k}: kernel {a!r} != scalar {b!r}"
+        )
+
+
+def assert_placements_bit_identical(pk, ps):
+    assert pk.keys() == ps.keys()
+    for k in ps:
+        assert (pk[k].x, pk[k].y) == (ps[k].x, ps[k].y), (
+            f"node {k}: kernel {pk[k]!r} != scalar {ps[k]!r}"
+        )
+
+
+class TestFeasibleBounds:
+    @given(st.integers(2, 12), st.integers(0, 1000), st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_regions_bit_identical_to_scalar(self, m, seed, fixed):
+        topo = random_topo(m, seed, fixed)
+        sol = solve_lubt(topo, random_bounds(topo, seed))
+        fr_kernel = feasible_regions(topo, sol.edge_lengths)
+        fr_scalar = feasible_regions_scalar(topo, sol.edge_lengths)
+        assert_regions_bit_identical(fr_kernel, fr_scalar)
+
+    def test_array_matches_view(self):
+        """The (n, 4) rows ARE the view TRRs, column for column."""
+        topo = random_topo(9, 21)
+        sol = solve_lubt(topo, random_bounds(topo, 21))
+        fb = feasible_bounds(topo, sol.edge_lengths)
+        fr = feasible_regions(topo, sol.edge_lengths)
+        for k in range(topo.num_nodes):
+            t = fr[k]
+            assert (fb[k, 0], fb[k, 1], fb[k, 2], fb[k, 3]) == (
+                t.ulo, t.uhi, t.vlo, t.vhi,
+            )
+
+    def test_violating_lengths_raise_same_node(self):
+        topo = random_topo(4, 3)
+        e = np.zeros(topo.num_nodes)  # violates every Steiner constraint
+        with pytest.raises(EmbeddingError) as kernel_err:
+            feasible_bounds(topo, e)
+        with pytest.raises(EmbeddingError) as scalar_err:
+            feasible_regions_scalar(topo, e)
+        assert str(kernel_err.value) == str(scalar_err.value)
+
+    def test_negative_edge_rejected(self):
+        topo = random_topo(3, 4)
+        e = np.full(topo.num_nodes, 10.0)
+        e[1] = -1.0
+        with pytest.raises(EmbeddingError):
+            feasible_bounds(topo, e)
+
+    def test_shape_mismatch(self):
+        topo = random_topo(3, 5)
+        with pytest.raises(ValueError):
+            feasible_bounds(topo, np.ones(2))
+
+
+class TestPlacementKernel:
+    @given(
+        st.integers(2, 12),
+        st.integers(0, 1000),
+        st.booleans(),
+        st.sampled_from(["nearest", "center"]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_placements_bit_identical_to_scalar(self, m, seed, fixed, policy):
+        topo = random_topo(m, seed, fixed)
+        sol = solve_lubt(topo, random_bounds(topo, seed))
+        fr = feasible_regions_scalar(topo, sol.edge_lengths)
+        pk = place_points(topo, sol.edge_lengths, fr, policy)
+        ps = place_points_scalar(topo, sol.edge_lengths, fr, policy)
+        assert_placements_bit_identical(pk, ps)
+
+    def test_embed_placements_matches_scalar_composition(self):
+        topo = random_topo(10, 31, fixed=True)
+        sol = solve_lubt(topo, random_bounds(topo, 31))
+        fused = embed_placements(topo, sol.edge_lengths)
+        fr = feasible_regions_scalar(topo, sol.edge_lengths)
+        scalar = place_points_scalar(topo, sol.edge_lengths, fr)
+        assert_placements_bit_identical(fused, scalar)
+
+    def test_unknown_policy(self):
+        topo = random_topo(3, 7)
+        sol = solve_lubt(topo, DelayBounds.unbounded(3))
+        fb = feasible_bounds(topo, sol.edge_lengths)
+        from repro.embedding.kernel import place_xy
+
+        with pytest.raises(ValueError):
+            place_xy(topo, sol.edge_lengths, fb, policy="random")

@@ -123,13 +123,13 @@ class TestCorners:
         xs = [c.x for c in cs]
         ys = [c.y for c in cs]
         if math.isfinite(r.xlo):
-            assert min(xs) == pytest.approx(r.xlo, abs=1e-6)
+            assert min(xs) == pytest.approx(r.xlo, abs=2e-6)
         if math.isfinite(r.xhi):
-            assert max(xs) == pytest.approx(r.xhi, abs=1e-6)
+            assert max(xs) == pytest.approx(r.xhi, abs=2e-6)
         if math.isfinite(r.ylo):
-            assert min(ys) == pytest.approx(r.ylo, abs=1e-6)
+            assert min(ys) == pytest.approx(r.ylo, abs=2e-6)
         if math.isfinite(r.yhi):
-            assert max(ys) == pytest.approx(r.yhi, abs=1e-6)
+            assert max(ys) == pytest.approx(r.yhi, abs=2e-6)
 
     def test_at_most_eight(self):
         r = Octilinear.rect(0, 10, 0, 10).intersect(

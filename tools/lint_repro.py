@@ -34,6 +34,15 @@ CI (``python tools/lint_repro.py src/``):
     inside a comprehension's ``if`` clause (it is rebuilt once per
     element; hoist it).
 
+``RL006`` **per-node-TRR-in-loop** — no ``TRR(...)`` / ``TRR.from_point``
+    / ``TRR.square`` construction inside a loop (``for`` / ``while`` /
+    comprehension) in ``embedding/``.  Per-node TRR objects in the
+    postorder/preorder passes are exactly what the array kernel
+    (``embedding/kernel.py``) replaced; new embedding code should work on
+    the ``(u_lo, u_hi, v_lo, v_hi)`` bound arrays and only materialise
+    TRRs at the view boundary.  The view layer and the scalar reference
+    paths carry ``# noqa: RL006`` escapes.
+
 Suppression: a ``# noqa: RLxxx`` (or ``# noqa: BLE001`` for RL004)
 comment on the offending line disables that finding.  Exit status is 1
 when any finding survives.
@@ -55,6 +64,7 @@ RULE_SCOPE: dict[str, tuple[str, ...] | None] = {
     "RL003": None,
     "RL004": None,
     "RL005": None,
+    "RL006": ("/embedding/",),
 }
 
 #: Memoized Topology cache internals and their public accessors.
@@ -115,6 +125,17 @@ def _is_set_expr(node: ast.AST) -> bool:
     return False
 
 
+def _is_trr_construction(node: ast.Call) -> bool:
+    """``TRR(...)`` or a ``TRR.<classmethod>(...)`` such as ``from_point``
+    / ``square`` — the per-node object builds the array kernel replaced."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "TRR"
+    if isinstance(func, ast.Attribute):
+        return isinstance(func.value, ast.Name) and func.value.id == "TRR"
+    return False
+
+
 def _mentions_cache_accessor(node: ast.AST) -> bool:
     """Does the expression chain contain a call to a memoized accessor?"""
     for sub in ast.walk(node):
@@ -133,6 +154,7 @@ class _Visitor(ast.NodeVisitor):
         self.rel = rel
         self.lines = lines
         self.findings: list[Finding] = []
+        self._loop_depth = 0
 
     # -- plumbing ------------------------------------------------------
     def _in_scope(self, rule: str) -> bool:
@@ -179,7 +201,14 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iter(node.iter, node)
+        self._loop_depth += 1
         self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
 
     def _visit_comp(self, node) -> None:
         for gen in node.generators:
@@ -198,7 +227,9 @@ class _Visitor(ast.NodeVisitor):
                             "set constructed inside a comprehension "
                             "condition (rebuilt per element); hoist it",
                         )
+        self._loop_depth += 1
         self.generic_visit(node)
+        self._loop_depth -= 1
 
     visit_ListComp = _visit_comp
     visit_SetComp = _visit_comp
@@ -244,6 +275,16 @@ class _Visitor(ast.NodeVisitor):
                 node,
                 f".{node.func.attr}() on a memoized Topology table "
                 "(treat accessor results as read-only)",
+            )
+        # RL006: per-node TRR construction inside a loop
+        if self._loop_depth > 0 and _is_trr_construction(node):
+            self._report(
+                "RL006",
+                node,
+                "per-node TRR construction inside a loop; use the array "
+                "kernel's (u_lo, u_hi, v_lo, v_hi) bound vectors "
+                "(embedding/kernel.py) and materialise TRRs only at the "
+                "view boundary",
             )
         self.generic_visit(node)
 
