@@ -8,6 +8,8 @@ Subcommands map one-to-one onto the experiment drivers:
     lubt table2 --bench prim2 --skew 0.5 [--sinks 64] [--jobs N]
     lubt table3 --bench r1 [--sinks 64] [--jobs N]
     lubt fig8   --bench prim2 [--sinks 64] [--plot] [--jobs N]
+    lubt serve  [--port 9155] [--jobs N] [--cache-size 256]
+    lubt request --port 9155 --bench prim1 [--op solve|sweep|stats|...]
     lubt benchmarks
 
 ``--sinks`` runs the benchmark's scaled view (first N sinks); omit it for
@@ -368,6 +370,115 @@ def _cmd_svg(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.server import SolveServer
+
+    server = SolveServer(
+        args.host,
+        args.port,
+        jobs=args.jobs,
+        cache_size=args.cache_size,
+        solve_timeout=args.solve_timeout,
+    )
+
+    async def _amain() -> None:
+        await server.start()
+        mode = (
+            f"{args.jobs} resident workers" if args.jobs > 1
+            else "inline solves"
+        )
+        print(
+            f"lubt solve server listening on {server.host}:{server.port} "
+            f"({mode}, cache {args.cache_size})",
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+
+    import asyncio
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _parse_windows(spec: str) -> list[tuple[float, float]]:
+    """``"0.5:1.2,0.7:1.2"`` -> ``[(0.5, 1.2), (0.7, 1.2)]``."""
+    windows = []
+    for part in spec.split(","):
+        lo, _, hi = part.partition(":")
+        if not _:
+            raise ValueError(f"bad window {part!r} (expected LOWER:UPPER)")
+        windows.append((float(lo), float(hi)))
+    return windows
+
+
+def _cmd_request(args) -> int:
+    import json as _json
+
+    from repro.server import ServerClient, ServerError
+
+    with ServerClient(args.host, args.port, timeout=args.timeout) as client:
+        if args.op in ("ping", "stats", "shutdown"):
+            reply = getattr(client, args.op)()
+            print(_json.dumps(reply, indent=2, sort_keys=True))
+            return 0
+
+        source, sinks, name = _load_instance_sinks(args)
+        topo = nearest_neighbor_topology(sinks, source)
+        radius = manhattan_radius_from(source, sinks)
+        try:
+            if args.op == "sweep":
+                blist = [
+                    DelayBounds.uniform(
+                        len(sinks), lo * radius, hi * radius
+                    )
+                    for lo, hi in _parse_windows(args.windows)
+                ]
+                points, done = client.sweep(topo, blist)
+                t = Table(
+                    ["window", "cost", "cache", "warm rows"],
+                    title=f"server sweep of {name}",
+                )
+                for (lo, hi), p in zip(_parse_windows(args.windows), points):
+                    if not p.get("ok", False):
+                        t.add_row(f"[{lo}, {hi}]", f"error: {p['error']}", "", "")
+                        continue
+                    t.add_row(
+                        f"[{lo}, {hi}]",
+                        p["result"]["cost"],
+                        "hit" if p["cache_hit"] else "miss",
+                        p["warm_rows"],
+                    )
+                print(t)
+                print(
+                    f"{done['points']} points, {done['cache_hits']} cache "
+                    f"hits, {done['warm_rows_total']} warm rows total"
+                )
+                return 1 if done["errors"] else 0
+            reply = client.solve(
+                topo,
+                DelayBounds.uniform(
+                    len(sinks), args.lower * radius, args.upper * radius
+                ),
+            )
+        except ServerError as exc:
+            print(f"server refused the request: {exc}", file=sys.stderr)
+            return 2
+    res = reply["result"]
+    t = Table(["metric", "value"], title=f"served LUBT on {name}")
+    t.add_row("sinks", len(sinks))
+    t.add_row("tree cost", res["cost"])
+    t.add_row("skew", res["skew"] / radius)
+    t.add_row("backend", res["stats"]["backend"])
+    t.add_row("served from cache", "yes" if reply["cache_hit"] else "no")
+    t.add_row("warm-seeded rows", reply["warm_rows"])
+    t.add_row("instance key", reply["instance_key"][:16] + "…")
+    print(t)
+    return 0
+
+
 def _cmd_benchmarks(_args) -> int:
     t = Table(["name", "sinks", "description"], title="benchmark surrogates")
     for name in benchmark_names():
@@ -490,6 +601,69 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--upper", type=float, default=1.2)
     p.add_argument("--output", default="lubt_tree.svg")
     p.set_defaults(func=_cmd_svg)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a resident solve server (JSON-lines protocol; "
+        "instance cache + cross-request warm starts)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=9155,
+        help="listening port (0 picks a free one; printed at startup)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="resident solve workers (1 = solve inline in the server)",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="result-cache capacity in instances (0 disables caching)",
+    )
+    p.add_argument(
+        "--solve-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard per-request wall-clock limit (worker-pool mode)",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "request", help="send one request to a running solve server"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9155)
+    p.add_argument(
+        "--timeout", type=float, default=300.0, help="socket timeout (s)"
+    )
+    p.add_argument(
+        "--op",
+        choices=("solve", "sweep", "ping", "stats", "shutdown"),
+        default="solve",
+    )
+    _bench_arg(p)
+    p.add_argument("--lower", type=float, default=0.8, help="lower bound / radius")
+    p.add_argument("--upper", type=float, default=1.2, help="upper bound / radius")
+    p.add_argument(
+        "--file",
+        default=None,
+        help="load sinks from a pin-list/CSV file instead of a surrogate",
+    )
+    p.add_argument(
+        "--windows",
+        default="0.5:1.2,0.7:1.2,0.9:1.2",
+        help="sweep windows as LOWER:UPPER[,LOWER:UPPER...] (x radius)",
+    )
+    p.set_defaults(func=_cmd_request)
 
     p = sub.add_parser("benchmarks", help="list benchmark surrogates")
     p.set_defaults(func=_cmd_benchmarks)

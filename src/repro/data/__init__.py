@@ -17,9 +17,17 @@ from repro.data.suites import (
 )
 from repro.data.formats import (
     FormatError,
+    caps_by_node_id,
     load_pin_list,
     load_csv,
     load_sinks_file,
+)
+from repro.data.instance_json import (
+    INSTANCE_FORMAT,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
 )
 
 __all__ = [
@@ -31,7 +39,13 @@ __all__ = [
     "load_benchmark",
     "benchmark_names",
     "FormatError",
+    "caps_by_node_id",
     "load_pin_list",
     "load_csv",
     "load_sinks_file",
+    "INSTANCE_FORMAT",
+    "instance_from_dict",
+    "instance_to_dict",
+    "load_instance",
+    "save_instance",
 ]

@@ -14,7 +14,16 @@ files can reproduce the paper's tables on them directly:
   ``{source, sink}``.
 
 Loaders return ``(source | None, sinks, sink_caps)`` ready for the
-topology generators and :class:`repro.delay.ElmoreParameters`.
+topology generators.  ``sink_caps`` is keyed by **0-based index into the
+returned ``sinks`` list** — ``caps.get(i)`` lines up with
+``enumerate(sinks)``.  :class:`repro.delay.ElmoreParameters` keys loads
+by 1-based sink *node id* instead; use :func:`caps_by_node_id` to
+convert.
+
+A cap attached to a pin that ends up as the *source* (the promoted first
+pin under ``first_is_source=True``) is a :class:`FormatError`: the
+source has no sink load, and silently dropping data a file spells out is
+worse than refusing it.
 """
 
 from __future__ import annotations
@@ -61,13 +70,22 @@ def load_pin_list(
         p = Point(_num(tokens[0], path, lineno), _num(tokens[1], path, lineno))
         sinks.append(p)
         if len(tokens) == 3:
-            caps[len(sinks)] = _num(tokens[2], path, lineno)
+            # Key by the pin's 0-based position in `sinks` (pre-append
+            # length), matching enumerate(sinks) on the returned list.
+            caps[len(sinks) - 1] = _num(tokens[2], path, lineno)
 
     if not sinks:
         raise FormatError(f"{path}: no pins found")
     if source is None and first_is_source:
         source = sinks.pop(0)
-        caps = {i - 1: c for i, c in caps.items() if i > 1}
+        if 0 in caps:
+            raise FormatError(
+                f"{path}: first pin is promoted to the source "
+                f"(first_is_source=True) but carries a load cap "
+                f"{caps[0]:g} — a source has no sink load; drop the cap "
+                f"or use an explicit 'source x y' line"
+            )
+        caps = {i - 1: c for i, c in caps.items()}
     return source, sinks, caps
 
 
@@ -91,13 +109,18 @@ def load_csv(
             if kind in _SOURCE_TOKENS:
                 if source is not None:
                     raise FormatError(f"{path}:{lineno}: duplicate source row")
+                if row.get("cap"):
+                    raise FormatError(
+                        f"{path}:{lineno}: source row carries a load cap "
+                        f"{row['cap']!r} — a source has no sink load"
+                    )
                 source = p
                 continue
             if kind != "sink":
                 raise FormatError(f"{path}:{lineno}: unknown kind {kind!r}")
             sinks.append(p)
             if row.get("cap"):
-                caps[len(sinks)] = _num(row["cap"], path, lineno)
+                caps[len(sinks) - 1] = _num(row["cap"], path, lineno)
     if not sinks:
         raise FormatError(f"{path}: no sink rows")
     return source, sinks, caps
@@ -110,6 +133,12 @@ def load_sinks_file(
     if str(path).lower().endswith(".csv"):
         return load_csv(path)
     return load_pin_list(path, first_is_source=first_is_source)
+
+
+def caps_by_node_id(caps: dict[int, float]) -> dict[int, float]:
+    """Reindex loader caps (0-based sink-list index) to 1-based sink node
+    ids, the convention :class:`repro.delay.ElmoreParameters` uses."""
+    return {i + 1: c for i, c in caps.items()}
 
 
 def _is_number(token: str) -> bool:

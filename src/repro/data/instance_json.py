@@ -1,0 +1,111 @@
+"""Whole-instance (topology + delay bounds) JSON round-trip.
+
+A *solve instance* is everything one :func:`repro.ebf.solve_lubt` call
+needs: the topology (embedded as a ``lubt-tree-v1`` document, see
+:mod:`repro.topology.serialize`) plus the per-sink delay window and any
+solve options a client wants to pin.  This is the wire format of the
+:mod:`repro.server` protocol and a handy on-disk shape for regression
+corpora.  Schema::
+
+    {
+      "format": "lubt-instance-v1",
+      "tree": { ... lubt-tree-v1 ... },
+      "lower": [l_1, ..., l_m],
+      "upper": [u_1, ..., u_m],       # "inf" encodes an unbounded sink
+      "options": { ... }              # optional, plain JSON
+    }
+
+Infinite bounds are encoded as the strings ``"inf"`` / ``"-inf"`` so the
+documents stay valid strict JSON (Python's ``json`` would otherwise emit
+the non-standard ``Infinity`` literal).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.ebf.bounds import DelayBounds
+from repro.topology.serialize import topology_from_dict, topology_to_dict
+from repro.topology.tree import Topology
+
+INSTANCE_FORMAT = "lubt-instance-v1"
+
+
+def _enc_num(v: float) -> float | str:
+    v = float(v)
+    if math.isinf(v):
+        return "inf" if v > 0 else "-inf"
+    if math.isnan(v):
+        return "nan"
+    return v
+
+
+def _dec_num(v: Any) -> float:
+    return float(v)
+
+
+def instance_to_dict(
+    topo: Topology,
+    bounds: DelayBounds,
+    options: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Serialize one solve instance (strict-JSON-safe)."""
+    if len(bounds.lower) != topo.num_sinks:
+        raise ValueError(
+            f"bounds cover {len(bounds.lower)} sinks but the topology "
+            f"has {topo.num_sinks}"
+        )
+    out: dict[str, Any] = {
+        "format": INSTANCE_FORMAT,
+        "tree": topology_to_dict(topo),
+        "lower": [_enc_num(v) for v in bounds.lower],
+        "upper": [_enc_num(v) for v in bounds.upper],
+    }
+    if options:
+        out["options"] = dict(options)
+    return out
+
+
+def instance_from_dict(
+    data: dict[str, Any],
+) -> tuple[Topology, DelayBounds, dict[str, Any]]:
+    """Inverse of :func:`instance_to_dict`.
+
+    Returns ``(topology, bounds, options)``; bounds are validated against
+    Definition 2.1 (raises :class:`repro.ebf.BoundsError` on an inverted
+    or negative window — a server must not solve garbage silently).
+    """
+    if data.get("format") != INSTANCE_FORMAT:
+        raise ValueError(f"not a {INSTANCE_FORMAT} document")
+    topo, _, _ = topology_from_dict(data["tree"])
+    lower = [_dec_num(v) for v in data["lower"]]
+    upper = [_dec_num(v) for v in data["upper"]]
+    if len(lower) != topo.num_sinks or len(upper) != topo.num_sinks:
+        raise ValueError(
+            f"bounds arrays must have one entry per sink "
+            f"({topo.num_sinks}), got {len(lower)}/{len(upper)}"
+        )
+    bounds = DelayBounds(lower, upper)
+    options = dict(data.get("options") or {})
+    return topo, bounds, options
+
+
+def save_instance(
+    path: str | Path,
+    topo: Topology,
+    bounds: DelayBounds,
+    options: dict[str, Any] | None = None,
+) -> None:
+    """Write one instance JSON file."""
+    doc = instance_to_dict(topo, bounds, options)
+    Path(path).write_text(json.dumps(doc, indent=1))
+
+
+def load_instance(
+    path: str | Path,
+) -> tuple[Topology, DelayBounds, dict[str, Any]]:
+    """Read an instance JSON file."""
+    return instance_from_dict(json.loads(Path(path).read_text()))

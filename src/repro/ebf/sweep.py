@@ -63,13 +63,21 @@ class WarmStart:
     Holds the orientation-normalized active Steiner pair set — every
     ``(i, j, lca)`` row the lazy loop discovered beyond its per-solve
     seeds — in discovery order, so re-seeding is deterministic.  The
-    state is keyed to the topology by identity: handing the object a
-    different topology resets it (rows are meaningless across
-    topologies), which makes one ``WarmStart`` safe to thread through
-    heterogeneous drivers like the Table 1 suite.
+    state is keyed to the topology by **structural hash**
+    (:func:`repro.topology.topology_hash`): handing the object a
+    structurally different topology resets it (rows are meaningless
+    across topologies), which makes one ``WarmStart`` safe to thread
+    through heterogeneous drivers like the Table 1 suite — while two
+    *distinct but identical* topology objects (one per client request,
+    one per worker process) share their rows, the property the
+    :mod:`repro.server` cross-request warm store is built on.  An
+    identity fast path keeps the common same-object sweep free of
+    re-hashing.
     """
 
-    #: Topology the carried rows belong to (identity-compared).
+    #: Structural hash the carried rows belong to.
+    key: str | None = None
+    #: Last topology object seen (identity fast path only).
     topology: object | None = field(default=None, repr=False)
     #: Carried ``(i, j, lca)`` rows in first-discovery order.
     pairs: list[tuple[int, int, int]] = field(default_factory=list)
@@ -77,11 +85,31 @@ class WarmStart:
     #: Solves that absorbed into this object (diagnostics only).
     solves: int = 0
 
+    @classmethod
+    def seeded(
+        cls, key: str, pairs: Iterable[tuple[int, int, int]]
+    ) -> "WarmStart":
+        """Build a carry-over pre-loaded with rows known valid for the
+        topology whose structural hash is ``key`` (server warm store)."""
+        ws = cls(key=key)
+        for i, j, k in pairs:
+            nk = (i, j) if i < j else (j, i)
+            if nk not in ws._seen:
+                ws._seen.add(nk)
+                ws.pairs.append((int(i), int(j), int(k)))
+        return ws
+
     def _rekey(self, topo) -> None:
-        if self.topology is not topo:
-            self.topology = topo
+        if topo is self.topology:
+            return
+        from repro.topology.serialize import topology_hash
+
+        h = topology_hash(topo)
+        if h != self.key:
+            self.key = h
             self.pairs = []
             self._seen = set()
+        self.topology = topo
 
     def pairs_for(self, topo) -> list[tuple[int, int, int]]:
         """The carried rows, valid for ``topo`` (empty after a reset)."""

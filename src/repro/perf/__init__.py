@@ -13,7 +13,9 @@ item).
   :class:`SolveTask` instances;
 * :func:`solve_sweep_sharded` — warm-started bound sweep chunked into
   contiguous shards, one :class:`~repro.ebf.WarmStart` per worker;
-* :class:`TaskOutcome` — per-task result/error/timeout record.
+* :class:`WorkerPool` — *resident* workers reused across submissions
+  (the :mod:`repro.server` dispatch path), same kill/crash guarantees;
+* :class:`TaskOutcome` — per-task result/error/timeout/crash record.
 
 Serial (``jobs=1``, no timeout) execution runs inline in the parent
 process and is bit-for-bit identical to calling the function in a loop;
@@ -21,7 +23,13 @@ parallel runs execute the same code in workers, so tables rendered from
 either path match exactly.
 """
 
-from repro.perf.pool import TaskError, TaskOutcome, map_many, run_many
+from repro.perf.pool import (
+    TaskError,
+    TaskOutcome,
+    WorkerPool,
+    map_many,
+    run_many,
+)
 from repro.perf.batch import (
     SolveTask,
     solve_many,
@@ -32,6 +40,7 @@ from repro.perf.batch import (
 __all__ = [
     "TaskError",
     "TaskOutcome",
+    "WorkerPool",
     "map_many",
     "run_many",
     "SolveTask",

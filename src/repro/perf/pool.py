@@ -24,20 +24,32 @@ class TaskError(RuntimeError):
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """Result record for one pooled task, in submission order."""
+    """Result record for one pooled task, in submission order.
+
+    Failure modes are distinguished: ``timed_out`` means the parent
+    killed an overdue worker; ``crashed`` means the worker died *on its
+    own* without delivering a payload (OOM kill, interpreter abort,
+    ``os._exit``) — its pipe came back EOF.  A worker exception that was
+    reported normally is neither.
+    """
 
     index: int
     ok: bool
     value: Any = None
     error: str | None = None
     timed_out: bool = False
+    crashed: bool = False
     elapsed: float = 0.0
 
     def unwrap(self):
         """Return the value, or raise :class:`TaskError` on failure."""
         if self.ok:
             return self.value
-        kind = "timed out" if self.timed_out else "failed"
+        kind = (
+            "timed out" if self.timed_out
+            else "crashed" if self.crashed
+            else "failed"
+        )
         raise TaskError(f"task {self.index} {kind}: {self.error}")
 
 
@@ -127,21 +139,34 @@ def run_many(
 
     def _finish(lv: _Live) -> None:
         elapsed = time.perf_counter() - lv.started
+        crashed = False
         try:
             kind, payload = lv.conn.recv()
         except (EOFError, OSError):
+            # The worker died without writing a payload (OOM kill,
+            # abort, os._exit): its pipe is ready with EOF.  Join first
+            # so exitcode is populated for the message.
+            crashed = True
+            lv.proc.join()
             kind, payload = "err", (
                 f"worker died without a result "
                 f"(exit code {lv.proc.exitcode})"
             )
-        lv.conn.close()
+        except Exception as exc:  # noqa: BLE001 — undecodable payload
+            # (e.g. unpicklable object written by a dying worker) must
+            # become an outcome, not escape and orphan the other workers.
+            kind, payload = "err", (
+                f"undecodable worker payload: {type(exc).__name__}: {exc}"
+            )
+        finally:
+            lv.conn.close()
         lv.proc.join()
         if kind == "ok":
             results[lv.index] = TaskOutcome(lv.index, True, payload,
                                             elapsed=elapsed)
         else:
             results[lv.index] = TaskOutcome(lv.index, False, error=payload,
-                                            elapsed=elapsed)
+                                            crashed=crashed, elapsed=elapsed)
         del live[lv.index]
 
     def _kill(lv: _Live) -> None:
@@ -213,3 +238,201 @@ def map_many(
         fn, args_list, jobs=jobs, timeout=timeout, start_method=start_method
     )
     return [o.unwrap() for o in outcomes]
+
+
+def _resident_worker_main(conn) -> None:
+    """Loop of one resident :class:`WorkerPool` worker: receive
+    ``(fn, args)``, run, reply — until a ``None`` sentinel or EOF."""
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        fn, args = msg
+        try:
+            conn.send(("ok", fn(*args)))
+        except BaseException as exc:  # noqa: BLE001 — boundary to the parent
+            try:
+                conn.send(
+                    ("err", f"{type(exc).__name__}: {exc}\n"
+                            f"{traceback.format_exc(limit=5)}")
+                )
+            except Exception:  # noqa: BLE001 — parent may already be gone
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class _ResidentWorker:
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, ctx):
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_resident_worker_main, args=(child_conn,), daemon=True
+        )
+        self.proc.start()
+        child_conn.close()
+
+    def stop(self, kill: bool = False) -> None:
+        if kill:
+            self.proc.kill()
+        else:
+            try:
+                self.conn.send(None)
+            except (OSError, ValueError):
+                pass
+        self.proc.join()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class WorkerPool:
+    """Resident worker processes, reused across many submissions.
+
+    :func:`run_many` pays a process start per task — fine for batch
+    tables, wasteful for a long-running service answering a stream of
+    small requests.  A ``WorkerPool`` keeps ``jobs`` workers alive and
+    ships ``(fn, args)`` over their pipes instead.  The hard-kill
+    guarantees survive: a task that exceeds ``timeout`` gets its worker
+    killed (and replaced), and a worker that dies mid-task surfaces as a
+    ``crashed`` outcome with a fresh worker taking its seat — the pool
+    itself never becomes poisoned.
+
+    Thread-safe: concurrent :meth:`submit` calls check out distinct
+    workers (blocking while all are busy), which is what lets an asyncio
+    server fan requests out from executor threads.  ``fn`` and its
+    arguments must be picklable even under the fork start method —
+    resident workers are forked once, so tasks always travel by pipe.
+    """
+
+    def __init__(self, jobs: int = 2, start_method: str | None = None):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        import threading
+
+        self._ctx = _pool_context(start_method)
+        self._jobs = jobs
+        self._idle: list[_ResidentWorker] = [
+            _ResidentWorker(self._ctx) for _ in range(jobs)
+        ]
+        self._free = threading.Semaphore(jobs)
+        self._lock = threading.Lock()
+        self._closed = False
+        self.tasks_run = 0
+        self.workers_replaced = 0
+
+    @property
+    def jobs(self) -> int:
+        return self._jobs
+
+    def submit(
+        self, fn: Callable, args: tuple = (), *, timeout: float | None = None
+    ) -> TaskOutcome:
+        """Run one task on a resident worker; block until it finishes.
+
+        Returns a :class:`TaskOutcome` (index 0).  On timeout the worker
+        is killed and replaced; on a worker crash the outcome is marked
+        ``crashed`` and the seat is refilled.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        self._free.acquire()
+        try:
+            with self._lock:
+                worker = self._idle.pop()
+            outcome, worker = self._run_on(worker, fn, args, timeout)
+            with self._lock:
+                self._idle.append(worker)
+                self.tasks_run += 1
+            return outcome
+        finally:
+            self._free.release()
+
+    def _run_on(self, worker, fn, args, timeout):
+        started = time.perf_counter()
+        try:
+            worker.conn.send((fn, args))
+        except (OSError, ValueError):
+            # The worker died while idle; replace it and retry once.
+            worker = self._replace(worker)
+            worker.conn.send((fn, args))
+        if not worker.conn.poll(timeout):
+            worker = self._replace(worker, kill=True)
+            return TaskOutcome(
+                0, False, timed_out=True,
+                elapsed=time.perf_counter() - started,
+                error=f"exceeded {timeout:g}s wall clock (worker killed)",
+            ), worker
+        crashed = False
+        try:
+            kind, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            crashed = True
+            worker.proc.join()
+            kind, payload = "err", (
+                f"worker died without a result "
+                f"(exit code {worker.proc.exitcode})"
+            )
+            worker = self._replace(worker)
+        except Exception as exc:  # noqa: BLE001 — undecodable payload
+            kind, payload = "err", (
+                f"undecodable worker payload: {type(exc).__name__}: {exc}"
+            )
+        elapsed = time.perf_counter() - started
+        if kind == "ok":
+            return TaskOutcome(0, True, payload, elapsed=elapsed), worker
+        return TaskOutcome(
+            0, False, error=payload, crashed=crashed, elapsed=elapsed
+        ), worker
+
+    def _replace(self, worker, kill: bool = False) -> _ResidentWorker:
+        worker.stop(kill=kill)
+        self.workers_replaced += 1
+        return _ResidentWorker(self._ctx)
+
+    def run_many(
+        self,
+        fn: Callable,
+        args_list: Sequence[tuple],
+        *,
+        timeout: float | None = None,
+    ) -> list[TaskOutcome]:
+        """Fan ``args_list`` across the resident workers (ordered)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=self._jobs) as tpe:
+            futs = [
+                tpe.submit(self.submit, fn, args, timeout=timeout)
+                for args in args_list
+            ]
+            out = []
+            for i, f in enumerate(futs):
+                o = f.result()
+                out.append(
+                    TaskOutcome(i, o.ok, o.value, o.error, o.timed_out,
+                                o.crashed, o.elapsed)
+                )
+            return out
+
+    def close(self) -> None:
+        """Stop every worker (idle ones get the sentinel, gracefully)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self._idle = self._idle, []
+        for w in workers:
+            w.stop()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

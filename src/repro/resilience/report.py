@@ -65,10 +65,23 @@ class SolveReport:
     ``result`` is the terminal :class:`LpResult` (optimal, infeasible, or
     unbounded — all three are definitive answers about the model), or
     ``None`` when every backend in the chain failed.
+
+    The provenance trio (``instance_key``, ``cache_hit``, ``warm_rows``)
+    is stamped by the :mod:`repro.server` dispatch layer so streamed
+    telemetry says not just *how* an answer was computed but *where it
+    came from*: a cache-served report has ``cache_hit=True`` (and no
+    fresh attempts), and ``warm_rows`` counts Steiner rows re-seeded
+    from the cross-request warm store before the first LP solve.
     """
 
     attempts: list[SolveAttempt] = field(default_factory=list)
     result: LpResult | None = None
+    #: Canonical instance key of the request this solve answered.
+    instance_key: str | None = None
+    #: Answer served verbatim from the result cache (no LP ran).
+    cache_hit: bool = False
+    #: Steiner rows seeded from a cross-request WarmStart carry-over.
+    warm_rows: int = 0
 
     @property
     def succeeded(self) -> bool:
@@ -94,10 +107,16 @@ class SolveReport:
 
     def summary(self) -> str:
         lines = [a.describe() for a in self.attempts]
-        if self.result is None:
+        if self.cache_hit:
+            lines.append("=> served from result cache (no LP attempted)")
+        elif self.result is None:
             lines.append("=> all backends failed")
         else:
             lines.append(
                 f"=> {self.result.status.value} via {self.result.backend}"
             )
+        if self.warm_rows:
+            lines.append(f"   warm-seeded {self.warm_rows} Steiner rows")
+        if self.instance_key:
+            lines.append(f"   instance {self.instance_key[:16]}…")
         return "\n".join(lines)

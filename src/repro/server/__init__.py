@@ -1,0 +1,52 @@
+"""LUBT-as-a-service: a resident solve server with a canonical instance
+cache and cross-request warm-start reuse.
+
+The pieces:
+
+* :mod:`repro.server.keys` — canonical instance keys: topology structural
+  hash + mantissa-quantized bounds + canonical options JSON;
+* :mod:`repro.server.cache` — thread-safe LRU result cache (bit-identical
+  repeated answers);
+* :mod:`repro.server.warm` — cross-request Steiner-row store keyed by
+  topology hash, feeding :class:`repro.ebf.WarmStart` re-seeding;
+* :mod:`repro.server.protocol` — the JSON-lines wire format;
+* :mod:`repro.server.dispatch` — the asyncio :class:`SolveServer` (and
+  :class:`ServerThread` for embedding one in tests/benches);
+* :mod:`repro.server.client` — the blocking :class:`ServerClient`.
+"""
+
+from repro.server.cache import LruCache
+from repro.server.client import ServerClient, ServerError
+from repro.server.dispatch import ALLOWED_OPTIONS, ServerThread, SolveServer
+from repro.server.keys import instance_key, quantize_bounds
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_reply,
+    jsonable,
+)
+from repro.server.warm import WarmStore
+
+__all__ = [
+    "ALLOWED_OPTIONS",
+    "LruCache",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServerClient",
+    "ServerError",
+    "ServerThread",
+    "SolveServer",
+    "WarmStore",
+    "decode_line",
+    "encode_line",
+    "error_reply",
+    "instance_key",
+    "jsonable",
+    "quantize_bounds",
+]

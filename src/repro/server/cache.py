@@ -1,0 +1,70 @@
+"""A thread-safe LRU result cache for the solve server.
+
+Values are the fully rendered response payloads (plain dicts), stored by
+canonical instance key.  A hit returns the stored object unchanged, so a
+repeated query's costs, edge lengths, and delays are *bit-identical* to
+the first answer — the cache layer never recomputes or re-rounds.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+
+class LruCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency; ``put`` evicts the stalest entry once
+    ``capacity`` is exceeded.  Hit/miss/eviction counters feed the
+    server's ``stats`` op.  ``capacity=0`` disables storage (every
+    lookup misses) without callers needing a special case.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._store: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Any | None:
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+                self.hits += 1
+                return self._store[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._store
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "size": len(self._store),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

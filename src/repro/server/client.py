@@ -1,0 +1,157 @@
+"""Blocking client for the LUBT solve server.
+
+A thin socket wrapper speaking the JSON-lines protocol of
+:mod:`repro.server.protocol` — used by the ``lubt request`` subcommand,
+the server smoke tests, and any script that wants solves answered by a
+shared resident server instead of an in-process solver::
+
+    with ServerClient(port=9155) as c:
+        reply = c.solve(topo, bounds)
+        print(reply["result"]["cost"], reply["cache_hit"])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.data.instance_json import instance_to_dict
+from repro.ebf.bounds import DelayBounds
+from repro.server.protocol import ProtocolError, encode_line, jsonable
+from repro.topology.serialize import topology_to_dict
+from repro.topology.tree import Topology
+
+import json
+
+
+class ServerError(RuntimeError):
+    """The server answered a request with an error event."""
+
+    def __init__(self, reply: Mapping[str, Any]):
+        self.reply = dict(reply)
+        self.error_type = reply.get("error_type", "Error")
+        super().__init__(f"{self.error_type}: {reply.get('error', '?')}")
+
+
+class ServerClient:
+    """One connection to a :class:`repro.server.SolveServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9155,
+        *,
+        timeout: float | None = 300.0,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _send(self, request: dict[str, Any]) -> int:
+        self._next_id += 1
+        request["id"] = self._next_id
+        self._sock.sendall(encode_line(request))
+        return self._next_id
+
+    def _recv(self) -> dict[str, Any]:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        obj = json.loads(line)
+        if not isinstance(obj, dict):
+            raise ProtocolError("server reply is not a JSON object")
+        return obj
+
+    def request(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Send one request, return its single reply (raises
+        :class:`ServerError` on an error event)."""
+        self._send(request)
+        reply = self._recv()
+        if not reply.get("ok", False):
+            raise ServerError(reply)
+        return reply
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    def solve(
+        self,
+        topo: Topology,
+        bounds: DelayBounds,
+        **options: Any,
+    ) -> dict[str, Any]:
+        """Solve one instance; returns the ``result`` reply (with
+        ``instance_key`` / ``cache_hit`` / ``warm_rows`` provenance)."""
+        return self.request(
+            {
+                "op": "solve",
+                "instance": instance_to_dict(topo, bounds, options or None),
+            }
+        )
+
+    def sweep(
+        self,
+        topo: Topology,
+        bounds_list: Iterable[DelayBounds],
+        **options: Any,
+    ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+        """Stream a sweep; returns ``(points, done)``.
+
+        ``points`` holds every per-point event in reply order — error
+        points included, distinguishable by ``p["ok"]`` — and ``done``
+        is the final summary event.
+        """
+        blist: Sequence[DelayBounds] = list(bounds_list)
+        self._send(
+            {
+                "op": "sweep",
+                "tree": topology_to_dict(topo),
+                "bounds_list": [
+                    jsonable(
+                        {
+                            "lower": [float(v) for v in b.lower],
+                            "upper": [float(v) for v in b.upper],
+                        }
+                    )
+                    for b in blist
+                ],
+                "options": options,
+            }
+        )
+        points: list[dict[str, Any]] = []
+        while True:
+            reply = self._recv()
+            if reply.get("event") == "done":
+                return points, reply
+            if reply.get("event") == "error" and "index" not in reply:
+                # request-level failure (bad tree/options): nothing more
+                # is coming for this sweep.
+                raise ServerError(reply)
+            points.append(reply)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

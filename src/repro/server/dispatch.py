@@ -1,0 +1,479 @@
+"""LUBT-as-a-service: the resident solve server.
+
+One :class:`SolveServer` process answers a stream of JSON solve/sweep
+requests (see :mod:`repro.server.protocol`) against shared state that
+makes repeated and related queries cheap:
+
+* a **result cache** (:class:`~repro.server.cache.LruCache`) keyed by
+  :func:`~repro.server.keys.instance_key` — a repeated query is answered
+  bit-identically from memory, no LP runs;
+* a **warm store** (:class:`~repro.server.warm.WarmStore`) keyed by
+  topology hash — any client's sweep re-seeds its lazy loops from the
+  active Steiner rows previous clients discovered on the same structure,
+  turning PR 5's per-sweep ``WarmStart`` 3x into a cross-request win;
+* a **resident worker pool** (:class:`repro.perf.WorkerPool`,
+  ``jobs > 1``) — workers are forked once at startup and reused across
+  requests, so per-request process cost disappears while the hard
+  kill-on-timeout and crash-isolation guarantees stay.
+
+Solves run off the event loop (executor thread, optionally a pooled
+worker process), so the loop stays responsive: a 10-second LP never
+blocks another client's cache hit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Mapping
+
+from repro.data.instance_json import instance_from_dict
+from repro.ebf.bounds import DelayBounds
+from repro.ebf.sweep import WarmStart, canonical_cost
+from repro.resilience.report import SolveReport
+from repro.server.cache import LruCache
+from repro.server.keys import instance_key
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_reply,
+)
+from repro.server.warm import WarmStore
+from repro.topology.serialize import topology_from_dict, topology_hash
+
+#: solve_lubt keywords a request may set.  keep_lp is deliberately out
+#: (payloads must stay picklable and bounded); weights/zero_edges wait
+#: for a use case.
+ALLOWED_OPTIONS = frozenset(
+    {
+        "mode",
+        "backend",
+        "batch",
+        "max_rounds",
+        "check_bounds",
+        "validate",
+        "resilient",
+        "lp_timeout",
+        "on_infeasible",
+        "race",
+    }
+)
+
+
+def _check_options(options: Mapping[str, Any]) -> dict[str, Any]:
+    bad = set(options) - ALLOWED_OPTIONS
+    if bad:
+        raise ProtocolError(
+            f"unknown solve option(s) {sorted(bad)}; "
+            f"allowed: {sorted(ALLOWED_OPTIONS)}"
+        )
+    return dict(options)
+
+
+def _solve_job(topo, bounds, options, carried_pairs, topo_key):
+    """One request's solve — runs inline, in an executor thread, or in a
+    resident pool worker (module-level, so it pickles by reference).
+
+    Returns ``(payload, pairs)``: the JSON-ready result payload and the
+    warm rows (carried + newly discovered) to deposit back into the
+    cross-request store.
+    """
+    from repro.ebf.solver import solve_lubt
+
+    ws = WarmStart.seeded(topo_key, carried_pairs)
+    sol = solve_lubt(topo, bounds, warm=ws, **options)
+    stats = sol.stats
+    payload = {
+        "cost": float(sol.cost),
+        "canonical_cost": canonical_cost(float(sol.cost)),
+        "edge_lengths": [float(v) for v in sol.edge_lengths],
+        "delays": [float(v) for v in sol.delays],
+        "skew": float(sol.skew),
+        "stats": {
+            "backend": stats.backend,
+            "mode": stats.mode,
+            "rounds": stats.rounds,
+            "steiner_rows": stats.steiner_rows,
+            "total_pairs": stats.total_pairs,
+            "lp_iterations": stats.lp_iterations,
+            "wall_seconds": stats.wall_seconds,
+            "lp_seconds": stats.lp_seconds,
+            "lp_fallbacks": stats.lp_fallbacks,
+            "warm_rows": stats.warm_rows,
+        },
+        "attempts": [
+            {
+                "backend": a.backend,
+                "outcome": a.outcome,
+                "wall_seconds": a.wall_seconds,
+            }
+            for rep in sol.solve_reports
+            for a in rep.attempts
+        ],
+        "relaxed": sol.diagnosis is not None,
+    }
+    return payload, list(ws.pairs)
+
+
+class SolveServer:
+    """The resident asyncio solve server (see module docstring).
+
+    ``jobs=1`` solves in executor threads of the server process —
+    zero-copy, ideal for tests and small deployments.  ``jobs > 1``
+    forks a resident :class:`~repro.perf.WorkerPool` and ships each
+    solve to a worker, so N requests solve truly concurrently and a
+    pathological LP can be killed without hurting the server.
+
+    ``solve_timeout`` is a hard per-request wall-clock limit (pool mode
+    kills the worker; inline mode cannot interrupt a running LP and
+    applies it only in pool mode).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        jobs: int = 1,
+        cache_size: int = 256,
+        solve_timeout: float | None = None,
+        start_method: str | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.host = host
+        self.port = port  # rewritten with the bound port after start()
+        self.jobs = jobs
+        self.solve_timeout = solve_timeout
+        self.cache = LruCache(cache_size)
+        self.warm = WarmStore()
+        self.pool = None
+        self._start_method = start_method
+        self.requests = 0
+        self.solves = 0
+        self.errors = 0
+        self.started_at: float | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stop = asyncio.Event()
+        #: Provenance reports of the most recent requests (telemetry).
+        self.recent_reports: list[SolveReport] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listening socket (async; idempotent)."""
+        if self._server is not None:
+            return
+        if self.jobs > 1 and self.pool is None:
+            from repro.perf.pool import WorkerPool
+
+            self.pool = WorkerPool(self.jobs, start_method=self._start_method)
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.monotonic()
+
+    async def serve_until_shutdown(self) -> None:
+        """Start (if needed) and serve until a ``shutdown`` request or
+        :meth:`request_stop`."""
+        await self.start()
+        try:
+            await self._stop.wait()
+        finally:
+            await self.aclose()
+
+    def request_stop(self) -> None:
+        self._stop.set()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+
+    def run(self) -> None:
+        """Blocking entry point (the ``lubt serve`` subcommand)."""
+        asyncio.run(self.serve_until_shutdown())
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # oversized line or client vanished
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self.requests += 1
+                await self._dispatch(line, writer)
+                if self._stop.is_set():
+                    break
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            except asyncio.CancelledError:
+                # Loop teardown cancelled us mid-close; the transport is
+                # going away regardless, and returning normally keeps
+                # asyncio's stream done-callback from logging the
+                # cancellation as a crash.
+                pass
+
+    async def _dispatch(self, line: bytes, writer) -> None:
+        req_id: Any = None
+        try:
+            req = decode_line(line)
+            req_id = req.get("id")
+            op = req["op"]
+            if op == "ping":
+                await self._write(
+                    writer,
+                    {
+                        "id": req_id,
+                        "ok": True,
+                        "event": "pong",
+                        "protocol": PROTOCOL_VERSION,
+                    },
+                )
+            elif op == "stats":
+                await self._write(writer, self._stats_reply(req_id))
+            elif op == "shutdown":
+                await self._write(
+                    writer, {"id": req_id, "ok": True, "event": "bye"}
+                )
+                self.request_stop()
+            elif op == "solve":
+                await self._op_solve(req, writer)
+            else:  # op == "sweep" (decode_line rejected everything else)
+                await self._op_sweep(req, writer)
+        except Exception as exc:  # noqa: BLE001 — protocol boundary: any
+            # bad request or failed solve becomes an error reply; the
+            # connection (and server) live on.
+            self.errors += 1
+            await self._write(writer, error_reply(req_id, exc))
+
+    async def _write(self, writer, obj: dict[str, Any]) -> None:
+        writer.write(encode_line(obj))
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    async def _op_solve(self, req: dict[str, Any], writer) -> None:
+        if "instance" not in req:
+            raise ProtocolError("solve request needs an 'instance' document")
+        topo, bounds, options = instance_from_dict(req["instance"])
+        options.update(req.get("options") or {})
+        options = _check_options(options)
+        reply = await self._answer(topo, bounds, options)
+        reply.update({"id": req.get("id"), "ok": True, "event": "result"})
+        await self._write(writer, reply)
+
+    async def _op_sweep(self, req: dict[str, Any], writer) -> None:
+        if "tree" not in req or "bounds_list" not in req:
+            raise ProtocolError(
+                "sweep request needs 'tree' and 'bounds_list'"
+            )
+        topo, _, _ = topology_from_dict(req["tree"])
+        options = _check_options(req.get("options") or {})
+        # Unchecked on purpose: a sweep may probe broken windows, and a
+        # bad point must fail *as that point* (per-point error event),
+        # not poison the whole request.  solve_lubt's check_bounds still
+        # vets each point unless the client turned it off.
+        bounds_list = [
+            DelayBounds.unchecked(
+                [float(v) for v in b["lower"]],
+                [float(v) for v in b["upper"]],
+            )
+            for b in req["bounds_list"]
+        ]
+        req_id = req.get("id")
+        cache_hits = warm_total = errors = 0
+        for index, bounds in enumerate(bounds_list):
+            try:
+                reply = await self._answer(topo, bounds, options)
+            except Exception as exc:  # noqa: BLE001 — per-point boundary:
+                # one infeasible point must not kill the rest of a sweep.
+                errors += 1
+                self.errors += 1
+                point = error_reply(req_id, exc)
+                point["index"] = index
+                await self._write(writer, point)
+                continue
+            cache_hits += 1 if reply["cache_hit"] else 0
+            warm_total += reply["warm_rows"]
+            reply.update(
+                {"id": req_id, "ok": True, "event": "point", "index": index}
+            )
+            await self._write(writer, reply)
+        await self._write(
+            writer,
+            {
+                "id": req_id,
+                "ok": True,
+                "event": "done",
+                "points": len(bounds_list),
+                "cache_hits": cache_hits,
+                "warm_rows_total": warm_total,
+                "errors": errors,
+            },
+        )
+
+    async def _answer(self, topo, bounds, options) -> dict[str, Any]:
+        """Solve one (topology, bounds, options) query through the cache
+        and warm store; returns the reply body (no envelope fields)."""
+        key = instance_key(topo, bounds, options)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._record_report(
+                SolveReport(instance_key=key, cache_hit=True,
+                            warm_rows=cached["stats"]["warm_rows"])
+            )
+            return {
+                "instance_key": key,
+                "cache_hit": True,
+                "warm_rows": cached["stats"]["warm_rows"],
+                "result": cached,
+            }
+        tkey = topology_hash(topo)
+        carried = self.warm.pairs(tkey)
+        loop = asyncio.get_running_loop()
+        payload, pairs = await loop.run_in_executor(
+            None, self._solve_blocking, topo, bounds, options, carried, tkey
+        )
+        self.solves += 1
+        self.warm.absorb(tkey, pairs)
+        self.cache.put(key, payload)
+        self._record_report(
+            SolveReport(instance_key=key, cache_hit=False,
+                        warm_rows=payload["stats"]["warm_rows"])
+        )
+        return {
+            "instance_key": key,
+            "cache_hit": False,
+            "warm_rows": payload["stats"]["warm_rows"],
+            "result": payload,
+        }
+
+    def _solve_blocking(self, topo, bounds, options, carried, tkey):
+        if self.pool is None:
+            return _solve_job(topo, bounds, options, carried, tkey)
+        outcome = self.pool.submit(
+            _solve_job,
+            (topo, bounds, options, carried, tkey),
+            timeout=self.solve_timeout,
+        )
+        if outcome.ok:
+            return outcome.value
+        kind = (
+            "timed out" if outcome.timed_out
+            else "crashed" if outcome.crashed
+            else "failed"
+        )
+        raise RuntimeError(f"pooled solve {kind}: {outcome.error}")
+
+    def _record_report(self, report: SolveReport) -> None:
+        self.recent_reports.append(report)
+        del self.recent_reports[:-64]
+
+    def _stats_reply(self, req_id: Any) -> dict[str, Any]:
+        uptime = (
+            time.monotonic() - self.started_at
+            if self.started_at is not None
+            else 0.0
+        )
+        return {
+            "id": req_id,
+            "ok": True,
+            "event": "stats",
+            "protocol": PROTOCOL_VERSION,
+            "uptime_seconds": uptime,
+            "requests": self.requests,
+            "solves": self.solves,
+            "errors": self.errors,
+            "jobs": self.jobs,
+            "cache": self.cache.stats(),
+            "warm": self.warm.stats(),
+            "pool": (
+                None
+                if self.pool is None
+                else {
+                    "tasks_run": self.pool.tasks_run,
+                    "workers_replaced": self.pool.workers_replaced,
+                }
+            ),
+        }
+
+
+class ServerThread:
+    """Run a :class:`SolveServer` on a daemon thread (tests, benches,
+    and embedding a server inside another process).
+
+    The constructor blocks until the socket is bound, so ``.port`` is
+    immediately connectable::
+
+        with ServerThread(jobs=2) as handle:
+            client = ServerClient(port=handle.port)
+    """
+
+    def __init__(self, timeout: float = 30.0, **server_kwargs: Any):
+        self.server = SolveServer(**server_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._main, name="lubt-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server did not start in time")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error}")
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def _main(self) -> None:
+        async def amain():
+            try:
+                await self.server.start()
+                self._loop = asyncio.get_running_loop()
+            except BaseException as exc:  # noqa: BLE001 — startup report
+                self._error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self.server.serve_until_shutdown()
+
+        asyncio.run(amain())
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,76 @@
+"""Canonical instance keys for the solve server.
+
+Two requests should hit the same cache slot exactly when a solver could
+not tell them apart.  The key therefore combines:
+
+* the **topology hash** — :func:`repro.topology.topology_hash`, a
+  structural SHA-256 over the serialized tree document;
+* the **quantized bounds** — every bound rounded to
+  :data:`repro.ebf.sweep.CANONICAL_BITS` significant mantissa bits by
+  :func:`repro.ebf.canonical_cost` (~1e-10 relative), so two clients
+  that computed the "same" window through different float paths (e.g.
+  ``0.8 * radius`` vs ``radius * 8 / 10``) still share a key, while any
+  difference a solver could resolve (LP tolerances are ~1e-6) gets its
+  own slot;
+* the **solve options**, canonically JSON-encoded — ``mode`` or
+  ``backend`` change which vertex of a degenerate optimal face comes
+  back, and a bit-identical cache must not mix them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any, Mapping
+
+from repro.ebf.bounds import DelayBounds
+from repro.ebf.sweep import CANONICAL_BITS, canonical_cost
+from repro.topology.serialize import topology_hash
+from repro.topology.tree import Topology
+
+
+def quantize_bounds(
+    bounds: DelayBounds, bits: int = CANONICAL_BITS
+) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """The bounds with every entry mantissa-truncated to ``bits``."""
+    return (
+        tuple(canonical_cost(float(v), bits) for v in bounds.lower),
+        tuple(canonical_cost(float(v), bits) for v in bounds.upper),
+    )
+
+
+def _bounds_token(bounds: DelayBounds) -> str:
+    lo, hi = quantize_bounds(bounds)
+    # repr() round-trips floats exactly; inf/nan spelled out explicitly
+    # so the token never depends on json's non-standard literals.
+    def tok(v: float) -> str:
+        if math.isinf(v):
+            return "inf" if v > 0 else "-inf"
+        if math.isnan(v):
+            return "nan"
+        return repr(v)
+
+    return ";".join(tok(v) for v in lo) + "|" + ";".join(tok(v) for v in hi)
+
+
+def _options_token(options: Mapping[str, Any] | None) -> str:
+    if not options:
+        return "{}"
+    return json.dumps(dict(options), sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def instance_key(
+    topo: Topology,
+    bounds: DelayBounds,
+    options: Mapping[str, Any] | None = None,
+) -> str:
+    """The canonical cache key for one solve request (hex, 64 chars)."""
+    h = hashlib.sha256()
+    h.update(topology_hash(topo).encode())
+    h.update(b"\x00")
+    h.update(_bounds_token(bounds).encode())
+    h.update(b"\x00")
+    h.update(_options_token(options).encode())
+    return h.hexdigest()

@@ -1,0 +1,110 @@
+"""The solve-server wire protocol: JSON lines over a stream socket.
+
+Each request is one JSON object on one line; each reply is one or more
+JSON objects, one per line.  Multi-answer operations (sweeps) *stream*:
+every solved point is written as soon as it exists, followed by a final
+``done`` event, so a client watches progress instead of a silent pipe.
+
+Requests::
+
+    {"op": "solve", "id": 1, "instance": {...lubt-instance-v1...}}
+    {"op": "sweep", "id": 2, "tree": {...lubt-tree-v1...},
+     "bounds_list": [{"lower": [...], "upper": [...]}, ...],
+     "options": {...}}
+    {"op": "stats", "id": 3}
+    {"op": "ping",  "id": 4}
+    {"op": "shutdown", "id": 5}
+
+Replies (``id`` echoes the request)::
+
+    {"id": 1, "ok": true,  "event": "result", "instance_key": "...",
+     "cache_hit": false, "warm_rows": 0, "result": {...}, "stats": {...}}
+    {"id": 2, "ok": true,  "event": "point", "index": 0, ...}
+    {"id": 2, "ok": true,  "event": "done", "points": 16,
+     "cache_hits": 3, "warm_rows_total": 41}
+    {"id": 1, "ok": false, "event": "error", "error": "...",
+     "error_type": "InfeasibleError"}
+
+``result`` carries ``cost`` (raw float, bit-exact), ``canonical_cost``
+(:func:`repro.ebf.canonical_cost`), ``edge_lengths``, ``delays``;
+``stats`` is the :class:`repro.ebf.SolveStats` record plus the resilient
+:class:`~repro.resilience.SolveReport` attempt log when one exists.
+Every payload is strict JSON — non-finite floats travel as the strings
+``"inf"`` / ``"-inf"`` / ``"nan"`` (see :mod:`repro.data.instance_json`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+#: Protocol revision, echoed by ``ping`` and checked by clients.
+PROTOCOL_VERSION = 1
+
+OPS = ("solve", "sweep", "stats", "ping", "shutdown")
+
+#: Hard per-line ceiling (16 MiB) so a confused client cannot balloon
+#: the server's read buffer.
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A request line the server cannot act on."""
+
+
+def jsonable(value: Any) -> Any:
+    """Recursively make ``value`` strict-JSON-safe (non-finite floats
+    become their string spellings; numpy scalars/arrays are assumed to
+    be converted by the caller)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if math.isnan(value):
+            return "nan"
+        return value
+    if isinstance(value, dict):
+        return {k: jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    return value
+
+
+def encode_line(obj: dict[str, Any]) -> bytes:
+    """One reply/request object -> one newline-terminated JSON line."""
+    return (
+        json.dumps(jsonable(obj), separators=(",", ":"), allow_nan=False)
+        + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse and structurally validate one request line."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("request must be a JSON object")
+    op = obj.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (expected one of {', '.join(OPS)})"
+        )
+    return obj
+
+
+def error_reply(
+    req_id: Any, exc: BaseException | str, *, event: str = "error"
+) -> dict[str, Any]:
+    if isinstance(exc, BaseException):
+        return {
+            "id": req_id,
+            "ok": False,
+            "event": event,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+        }
+    return {"id": req_id, "ok": False, "event": event, "error": str(exc)}

@@ -1,0 +1,82 @@
+"""Cross-request WarmStart store, keyed by topology structural hash.
+
+PR 5's :class:`repro.ebf.WarmStart` makes a *sweep* fast by carrying the
+lazy loop's active Steiner rows from solve to solve.  The store lifts
+that to the server's lifetime: every request that solves a topology
+deposits its discovered rows under the topology's structural hash, and
+every later request on the same structure — from any client, in any
+connection — re-seeds from the accumulated set.  Soundness is inherited
+from the sweep contract (a Steiner row is a fact about the topology,
+never about the bounds), and the hash-rekeyed ``WarmStart`` refuses rows
+whose key doesn't match the topology it is handed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from repro.ebf.sweep import WarmStart
+
+Pair = tuple[int, int, int]
+
+
+class WarmStore:
+    """Accumulated active Steiner rows per topology hash (thread-safe)."""
+
+    def __init__(self, max_topologies: int = 512):
+        if max_topologies < 1:
+            raise ValueError("max_topologies must be >= 1")
+        self._max = max_topologies
+        self._rows: dict[str, list[Pair]] = {}
+        self._seen: dict[str, set[tuple[int, int]]] = {}
+        self._lock = threading.Lock()
+        self.absorbed = 0
+
+    def pairs(self, key: str) -> list[Pair]:
+        """A snapshot of the carried rows for ``key`` (possibly empty)."""
+        with self._lock:
+            return list(self._rows.get(key, ()))
+
+    def warm_for(self, key: str) -> WarmStart:
+        """A fresh :class:`WarmStart` pre-seeded with the stored rows."""
+        return WarmStart.seeded(key, self.pairs(key))
+
+    def absorb(self, key: str, pairs: Iterable[Pair]) -> int:
+        """Merge rows a solve discovered; returns the fresh-row count.
+
+        Dedup is by orientation-normalized ``(i, j)`` — the same rule
+        the lazy loop and ``WarmStart`` use — so replayed rows are free.
+        """
+        fresh = 0
+        with self._lock:
+            if key not in self._rows:
+                # Bound total memory: drop the whole store rather than
+                # track per-topology recency — warm rows are a pure
+                # optimization, rebuilding them costs one cold solve.
+                if len(self._rows) >= self._max:
+                    self._rows.clear()
+                    self._seen.clear()
+                self._rows[key] = []
+                self._seen[key] = set()
+            rows, seen = self._rows[key], self._seen[key]
+            for i, j, k in pairs:
+                nk = (i, j) if i < j else (j, i)
+                if nk not in seen:
+                    seen.add(nk)
+                    rows.append((int(i), int(j), int(k)))
+                    fresh += 1
+            self.absorbed += fresh
+        return fresh
+
+    def rows(self, key: str) -> int:
+        with self._lock:
+            return len(self._rows.get(key, ()))
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "topologies": len(self._rows),
+                "total_rows": sum(len(r) for r in self._rows.values()),
+                "absorbed": self.absorbed,
+            }

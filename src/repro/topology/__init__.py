@@ -33,6 +33,7 @@ from repro.topology.guided import (
 from repro.topology.serialize import (
     topology_to_dict,
     topology_from_dict,
+    topology_hash,
     save_tree,
     load_tree,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "balance_aware_topology",
     "topology_to_dict",
     "topology_from_dict",
+    "topology_hash",
     "save_tree",
     "load_tree",
 ]

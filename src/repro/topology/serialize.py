@@ -16,6 +16,7 @@ and reloaded without this library.  Schema::
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import Any
@@ -26,6 +27,38 @@ from repro.geometry import Point
 from repro.topology.tree import Topology
 
 FORMAT = "lubt-tree-v1"
+
+_HASH_CACHE: "dict[int, tuple[Any, str]]" = {}
+_HASH_CACHE_MAX = 4096
+
+
+def topology_hash(topo: Topology) -> str:
+    """Structural SHA-256 of a topology (hex digest).
+
+    Two topologies hash equally iff their serialized ``lubt-tree-v1``
+    documents (parents, sink/source coordinates, sink count) are
+    identical — i.e. they are the *same instance* for solving purposes,
+    regardless of which Python objects hold them.  This is the canonical
+    key for cross-request caches and :class:`repro.ebf.WarmStart` reuse.
+
+    Memoized per live object (topologies are immutable), so hashing on
+    every solve of a sweep costs one dict hit after the first.
+    """
+    key = id(topo)
+    hit = _HASH_CACHE.get(key)
+    # Guard against id() reuse after garbage collection: the cache holds
+    # a strong reference to the topology it hashed, so a live hit always
+    # refers to the same object.
+    if hit is not None and hit[0] is topo:
+        return hit[1]
+    blob = json.dumps(
+        topology_to_dict(topo), sort_keys=True, separators=(",", ":")
+    )
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    if len(_HASH_CACHE) >= _HASH_CACHE_MAX:
+        _HASH_CACHE.clear()
+    _HASH_CACHE[key] = (topo, digest)
+    return digest
 
 
 def topology_to_dict(

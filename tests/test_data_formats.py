@@ -1,9 +1,18 @@
-"""Tests for the benchmark file-format loaders."""
+"""Tests for the benchmark file-format loaders.
+
+The load-cap convention is pinned here: ``caps`` is keyed by 0-based
+index into the returned ``sinks`` list, so ``caps.get(i)`` over
+``enumerate(sinks)`` attributes every cap to the right pin — including
+sink 0's (the original keying was 1-based and silently skipped it).
+"""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.data import (
     FormatError,
+    caps_by_node_id,
     load_csv,
     load_pin_list,
     load_sinks_file,
@@ -31,7 +40,16 @@ class TestPinList:
         f.write_text("1 2 0.5\n3 4 1.5\n")
         source, sinks, caps = load_pin_list(f)
         assert source is None
-        assert caps == {1: 0.5, 2: 1.5}
+        assert caps == {0: 0.5, 1: 1.5}
+
+    def test_first_sink_cap_is_applied(self, tmp_path):
+        """Regression: the original 1-based keying lost sink 0's cap and
+        shifted every other cap onto the wrong pin."""
+        f = tmp_path / "net.pins"
+        f.write_text("source 9 9\n0 0 2.5\n5 5\n7 7 4.5\n")
+        _, sinks, caps = load_pin_list(f)
+        by_pin = {i: caps.get(i) for i, _ in enumerate(sinks)}
+        assert by_pin == {0: 2.5, 1: None, 2: 4.5}
 
     def test_first_is_source(self, tmp_path):
         f = tmp_path / "net.pins"
@@ -44,7 +62,41 @@ class TestPinList:
         f = tmp_path / "net.pins"
         f.write_text("100 100\n0 0 2.0\n9 9 3.0\n")
         _, sinks, caps = load_pin_list(f, first_is_source=True)
-        assert caps == {1: 2.0, 2: 3.0}
+        assert sinks == [Point(0, 0), Point(9, 9)]
+        assert caps == {0: 2.0, 1: 3.0}
+
+    def test_promoted_source_cap_is_an_error(self, tmp_path):
+        """A cap on the pin promoted to the source must not vanish."""
+        f = tmp_path / "net.pins"
+        f.write_text("100 100 7.5\n0 0\n9 9\n")
+        with pytest.raises(FormatError, match="promoted to the source"):
+            load_pin_list(f, first_is_source=True)
+        # The same file is fine when the first pin stays a sink.
+        _, sinks, caps = load_pin_list(f)
+        assert caps == {0: 7.5}
+
+    def test_source_line_wins_over_first_is_source(self, tmp_path):
+        """An explicit `source` line takes precedence: no pin is popped
+        and no cap reshift happens."""
+        f = tmp_path / "net.pins"
+        f.write_text("source 1 1\n2 2 0.25\n3 3\n")
+        source, sinks, caps = load_pin_list(f, first_is_source=True)
+        assert source == Point(1, 1)
+        assert sinks == [Point(2, 2), Point(3, 3)]
+        assert caps == {0: 0.25}
+
+    def test_name_tokens_stripped(self, tmp_path):
+        f = tmp_path / "net.pins"
+        f.write_text("p0 1 2\npin_1 3 4 0.5\n5 6\n")
+        _, sinks, caps = load_pin_list(f)
+        assert sinks == [Point(1, 2), Point(3, 4), Point(5, 6)]
+        assert caps == {1: 0.5}
+
+    def test_caps_by_node_id(self, tmp_path):
+        f = tmp_path / "net.pins"
+        f.write_text("source 9 9\n0 0 2.5\n5 5\n7 7 4.5\n")
+        _, _, caps = load_pin_list(f)
+        assert caps_by_node_id(caps) == {1: 2.5, 3: 4.5}
 
     def test_duplicate_source_rejected(self, tmp_path):
         f = tmp_path / "bad.pins"
@@ -77,7 +129,25 @@ class TestCsv:
         source, sinks, caps = load_csv(f)
         assert source == Point(10, 20)
         assert sinks == [Point(0, 0), Point(5, 5)]
-        assert caps == {1: 0.4}
+        assert caps == {0: 0.4}
+
+    def test_source_row_cap_rejected(self, tmp_path):
+        f = tmp_path / "bad.csv"
+        f.write_text("x,y,cap,kind\n10,20,1.5,source\n0,0,,sink\n")
+        with pytest.raises(FormatError, match="source row carries"):
+            load_csv(f)
+
+    def test_kind_tokens(self, tmp_path):
+        """All source spellings work; caps land on 0-based sink indices
+        regardless of where the source row sits."""
+        for token in ("source", "src", "root", "SOURCE"):
+            f = tmp_path / f"net_{token}.csv"
+            f.write_text(
+                f"x,y,cap,kind\n0,0,0.1,sink\n10,20,,{token}\n5,5,0.2,sink\n"
+            )
+            source, sinks, caps = load_csv(f)
+            assert source == Point(10, 20)
+            assert caps == {0: 0.1, 1: 0.2}
 
     def test_minimal_header(self, tmp_path):
         f = tmp_path / "net.csv"
@@ -111,6 +181,62 @@ class TestAutodetect:
         f.write_text("1 1\n")
         _, sinks, _ = load_sinks_file(f)
         assert sinks == [Point(1, 1)]
+
+
+coords = st.integers(-500, 500)
+cap_values = st.floats(0.01, 10.0, allow_nan=False, allow_infinity=False)
+pins = st.lists(
+    st.tuples(coords, coords, st.none() | cap_values), min_size=1, max_size=12
+)
+
+
+class TestRoundTripProperties:
+    """Property tests: a written file reloads to exactly what was written,
+    with caps attributed to the same 0-based pin in both formats."""
+
+    @staticmethod
+    def _expected(pin_rows):
+        sinks = [Point(float(x), float(y)) for x, y, _ in pin_rows]
+        caps = {
+            i: float(c) for i, (_, _, c) in enumerate(pin_rows) if c is not None
+        }
+        return sinks, caps
+
+    @given(pins)
+    @settings(max_examples=40, deadline=None)
+    def test_pin_list_round_trip(self, tmp_path_factory, pin_rows):
+        f = tmp_path_factory.mktemp("fmt") / "net.pins"
+        f.write_text(
+            "source 0 1\n"
+            + "\n".join(
+                f"{x} {y}" + (f" {float(c)!r}" if c is not None else "")
+                for x, y, c in pin_rows
+            )
+        )
+        source, sinks, caps = load_pin_list(f)
+        want_sinks, want_caps = self._expected(pin_rows)
+        assert source == Point(0, 1)
+        assert sinks == want_sinks
+        assert caps == want_caps
+
+    @given(pins)
+    @settings(max_examples=40, deadline=None)
+    def test_csv_matches_pin_list(self, tmp_path_factory, pin_rows):
+        """The same net spelled in both formats loads identically."""
+        d = tmp_path_factory.mktemp("fmt")
+        body = [
+            (f"{x} {y}" + (f" {float(c)!r}" if c is not None else ""))
+            for x, y, c in pin_rows
+        ]
+        (d / "net.pins").write_text("\n".join(body))
+        (d / "net.csv").write_text(
+            "x,y,cap\n"
+            + "\n".join(
+                f"{x},{y}," + (f"{float(c)!r}" if c is not None else "")
+                for x, y, c in pin_rows
+            )
+        )
+        assert load_sinks_file(d / "net.pins") == load_sinks_file(d / "net.csv")
 
 
 class TestEndToEnd:

@@ -10,7 +10,14 @@ from repro.data import load_benchmark
 from repro.ebf import DelayBounds
 from repro.experiments import render_table3, run_table3
 from repro.geometry import manhattan_radius_from
-from repro.perf import SolveTask, TaskError, map_many, run_many, solve_many
+from repro.perf import (
+    SolveTask,
+    TaskError,
+    WorkerPool,
+    map_many,
+    run_many,
+    solve_many,
+)
 from repro.topology import nearest_neighbor_topology
 
 
@@ -24,6 +31,22 @@ def _fail(x):
 
 def _sleep_forever(_x):
     time.sleep(300)
+
+
+def _die_without_payload(code):
+    # os._exit skips atexit/finally — the parent sees a bare EOF on the
+    # pipe, exactly like an OOM kill or interpreter abort.
+    os._exit(code)
+
+
+def _pid(_x=None):
+    return os.getpid()
+
+
+def _crash_or_square(x):
+    if x == 1:
+        os._exit(1)
+    return x * x
 
 
 class TestRunMany:
@@ -65,6 +88,25 @@ class TestRunMany:
         with pytest.raises(ValueError):
             run_many(_square, [(1,)], jobs=0)
 
+    def test_worker_crash_is_distinguished_from_timeout(self):
+        """A worker that dies without writing a payload (EOF on its
+        pipe) must come back ``crashed``, not hang or leak EOFError."""
+        outs = run_many(
+            _die_without_payload, [(13,)], jobs=2, timeout=30.0
+        )
+        out = outs[0]
+        assert not out.ok
+        assert out.crashed and not out.timed_out
+        assert "exit code 13" in out.error
+        with pytest.raises(TaskError, match="crashed"):
+            out.unwrap()
+
+    def test_crash_among_healthy_tasks(self):
+        outs = run_many(_crash_or_square, [(0,), (1,), (2,), (3,)], jobs=2)
+        assert [o.ok for o in outs] == [True, False, True, True]
+        assert outs[1].crashed
+        assert [o.value for o in outs if o.ok] == [0, 4, 9]
+
     def test_map_many_serial_preserves_exception_type(self):
         with pytest.raises(ValueError, match="bad input"):
             map_many(_fail, [(1,)], jobs=1)
@@ -102,6 +144,63 @@ class TestSolveMany:
         outs = solve_many([tasks[0], bad], jobs=2)
         assert outs[0].ok
         assert not outs[1].ok and "Infeasible" in outs[1].error
+
+
+class TestWorkerPool:
+    """The resident pool: reuse across submissions, crash/timeout
+    replacement, and graceful shutdown."""
+
+    def test_workers_are_reused(self):
+        with WorkerPool(jobs=1) as pool:
+            pids = {pool.submit(_pid).unwrap() for _ in range(5)}
+        assert len(pids) == 1  # same resident process served every task
+        assert pool.tasks_run == 5
+        assert pool.workers_replaced == 0
+
+    def test_ordered_run_many(self):
+        with WorkerPool(jobs=3) as pool:
+            outs = pool.run_many(_square, [(i,) for i in range(9)])
+        assert [o.unwrap() for o in outs] == [i * i for i in range(9)]
+        assert [o.index for o in outs] == list(range(9))
+
+    def test_crash_replaces_worker(self):
+        with WorkerPool(jobs=1) as pool:
+            before = pool.submit(_pid).unwrap()
+            out = pool.submit(_die_without_payload, (7,))
+            assert not out.ok and out.crashed and not out.timed_out
+            assert "exit code 7" in out.error
+            after = pool.submit(_pid).unwrap()
+        assert before != after  # crashed seat was refilled
+        assert pool.workers_replaced == 1
+
+    def test_timeout_kills_and_replaces(self):
+        with WorkerPool(jobs=1) as pool:
+            t0 = time.perf_counter()
+            out = pool.submit(_sleep_forever, (0,), timeout=0.5)
+            wall = time.perf_counter() - t0
+            assert out.timed_out and not out.ok and not out.crashed
+            assert wall < 30.0
+            assert pool.submit(_square, (4,)).unwrap() == 16
+        assert pool.workers_replaced == 1
+
+    def test_worker_exception_keeps_worker(self):
+        with WorkerPool(jobs=1) as pool:
+            out = pool.submit(_fail, (3,))
+            assert not out.ok and not out.crashed
+            assert "bad input 3" in out.error
+            assert pool.submit(_square, (3,)).unwrap() == 9
+        assert pool.workers_replaced == 0
+
+    def test_closed_pool_rejects(self):
+        pool = WorkerPool(jobs=1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(_square, (1,))
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(jobs=0)
 
 
 class TestExperimentJobs:

@@ -1,0 +1,379 @@
+"""LUBT-as-a-service: instance keys, result cache, warm store, protocol,
+and the resident solve server end to end.
+
+The service contract under test:
+
+* a repeated query is answered from the cache **bit-identically** (same
+  float bits, not just close) with ``cache_hit`` marked;
+* a client sweeping a topology another client already solved re-seeds
+  its lazy loops from the cross-request warm store (``warm_rows > 0``);
+* canonical instance keys collapse sub-tolerance float wiggle but keep
+  genuinely different instances (bounds, options, topology) apart.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    instance_from_dict,
+    instance_to_dict,
+    load_benchmark,
+    load_instance,
+    save_instance,
+)
+from repro.ebf import DelayBounds, canonical_cost, solve_lubt
+from repro.geometry import Point, manhattan_radius_from
+from repro.server import (
+    LruCache,
+    ProtocolError,
+    ServerClient,
+    ServerError,
+    ServerThread,
+    WarmStore,
+    decode_line,
+    encode_line,
+    error_reply,
+    instance_key,
+    jsonable,
+    quantize_bounds,
+)
+from repro.topology import nearest_neighbor_topology, topology_hash
+
+
+def instance(size=10, lo=0.8, hi=1.3):
+    bench = load_benchmark("prim1").scaled(size)
+    sinks = list(bench.sinks)
+    topo = nearest_neighbor_topology(sinks, bench.source)
+    radius = manhattan_radius_from(bench.source, sinks)
+    return topo, DelayBounds.uniform(size, lo * radius, hi * radius), radius
+
+
+class TestInstanceJson:
+    def test_round_trip(self):
+        topo, bounds, _ = instance()
+        doc = instance_to_dict(topo, bounds, {"mode": "lazy"})
+        topo2, bounds2, options = instance_from_dict(doc)
+        assert topology_hash(topo2) == topology_hash(topo)
+        assert list(bounds2.lower) == list(bounds.lower)
+        assert list(bounds2.upper) == list(bounds.upper)
+        assert options == {"mode": "lazy"}
+
+    def test_round_trip_is_strict_json(self, tmp_path):
+        topo, _, radius = instance(6)
+        bounds = DelayBounds(
+            [0.0] * 6, [math.inf, 2 * radius, 2 * radius, math.inf,
+                        2 * radius, 2 * radius]
+        )
+        path = tmp_path / "inst.json"
+        save_instance(path, topo, bounds)
+        # the file must parse as *strict* JSON (no Infinity literals)
+        raw = json.loads(
+            path.read_text(), parse_constant=lambda s: pytest.fail(
+                f"non-strict JSON literal {s} in instance file"
+            )
+        )
+        assert raw["upper"][0] == "inf"
+        topo2, bounds2, _ = load_instance(path)
+        assert math.isinf(bounds2.upper[0])
+        assert topology_hash(topo2) == topology_hash(topo)
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="lubt-instance-v1"):
+            instance_from_dict({"format": "something-else"})
+
+    def test_rejects_bound_length_mismatch(self):
+        topo, bounds, _ = instance(6)
+        doc = instance_to_dict(topo, bounds)
+        doc["lower"] = doc["lower"][:-1]
+        with pytest.raises(ValueError):
+            instance_from_dict(doc)
+
+
+class TestInstanceKey:
+    def test_stable_across_processes_inputs(self):
+        topo, bounds, _ = instance()
+        assert instance_key(topo, bounds) == instance_key(topo, bounds)
+
+    def test_sub_tolerance_wiggle_shares_a_key(self):
+        topo, bounds, radius = instance()
+        # the same window computed through a different float path
+        wiggled = DelayBounds(
+            [v * (1 + 1e-14) for v in bounds.lower],
+            [v * (1 + 1e-14) for v in bounds.upper],
+        )
+        assert instance_key(topo, wiggled) == instance_key(topo, bounds)
+
+    def test_resolvable_differences_split(self):
+        topo, bounds, radius = instance()
+        other = DelayBounds(
+            [v * (1 + 1e-5) for v in bounds.lower], list(bounds.upper)
+        )
+        assert instance_key(topo, other) != instance_key(topo, bounds)
+
+    def test_options_split(self):
+        topo, bounds, _ = instance()
+        assert instance_key(topo, bounds, {"mode": "full"}) != instance_key(
+            topo, bounds, {"mode": "lazy"}
+        )
+        assert instance_key(topo, bounds, None) == instance_key(
+            topo, bounds, {}
+        )
+
+    def test_topology_split(self):
+        topo, bounds, _ = instance()
+        pts = [Point(float(x), float(y))
+               for x, y in [(0, 0), (5, 9), (9, 2), (3, 7), (8, 8),
+                            (1, 4), (6, 1), (2, 8), (7, 5), (4, 3)]]
+        other = nearest_neighbor_topology(pts)
+        assert instance_key(other, bounds) != instance_key(topo, bounds)
+
+    def test_quantize_bounds_keeps_non_finite(self):
+        b = DelayBounds.unchecked([0.0, 1.0], [math.inf, 2.0])
+        lo, hi = quantize_bounds(b)
+        assert lo == (0.0, 1.0)
+        assert math.isinf(hi[0])
+
+
+class TestLruCache:
+    def test_hit_returns_stored_object(self):
+        c = LruCache(4)
+        payload = {"cost": 1.25}
+        c.put("k", payload)
+        assert c.get("k") is payload
+        assert c.stats()["hits"] == 1
+
+    def test_eviction_is_lru(self):
+        c = LruCache(2)
+        c.put("a", 1)
+        c.put("b", 2)
+        assert c.get("a") == 1  # refresh a
+        c.put("c", 3)  # evicts b
+        assert c.get("b") is None
+        assert c.get("a") == 1 and c.get("c") == 3
+        assert c.stats()["evictions"] == 1
+
+    def test_zero_capacity_disables(self):
+        c = LruCache(0)
+        c.put("a", 1)
+        assert c.get("a") is None
+        assert len(c) == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            LruCache(-1)
+
+
+class TestWarmStore:
+    def test_absorb_dedups_by_orientation(self):
+        s = WarmStore()
+        assert s.absorb("h", [(1, 2, 0), (2, 1, 0), (1, 3, 0)]) == 2
+        assert s.absorb("h", [(3, 1, 0)]) == 0
+        assert s.rows("h") == 2
+
+    def test_warm_for_seeds_a_warmstart(self):
+        s = WarmStore()
+        s.absorb("h", [(1, 2, 0)])
+        ws = s.warm_for("h")
+        assert ws.key == "h"
+        assert ws.pairs == [(1, 2, 0)]
+
+    def test_capacity_reset(self):
+        s = WarmStore(max_topologies=2)
+        s.absorb("a", [(1, 2, 0)])
+        s.absorb("b", [(1, 2, 0)])
+        s.absorb("c", [(1, 2, 0)])  # hits the cap: store is reset
+        assert s.stats()["topologies"] == 1
+        assert s.rows("a") == 0 and s.rows("c") == 1
+
+
+class TestProtocol:
+    def test_round_trip(self):
+        req = decode_line(encode_line({"op": "ping", "id": 7}))
+        assert req == {"op": "ping", "id": 7}
+
+    def test_non_finite_floats_travel_as_strings(self):
+        line = encode_line({"op": "ping", "v": [math.inf, -math.inf,
+                                                math.nan, 1.5]})
+        assert b"Infinity" not in line and b"NaN" not in line
+        assert json.loads(line)["v"] == ["inf", "-inf", "nan", 1.5]
+
+    def test_jsonable_handles_nesting(self):
+        assert jsonable({"a": (math.inf, {"b": math.nan})}) == {
+            "a": ["inf", {"b": "nan"}]
+        }
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_line(b"{nope")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(b"[1,2]")
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_line(b'{"op": "explode"}')
+
+    def test_error_reply_carries_type(self):
+        r = error_reply(3, ValueError("boom"))
+        assert r == {"id": 3, "ok": False, "event": "error",
+                     "error": "boom", "error_type": "ValueError"}
+
+
+@pytest.fixture(scope="class")
+def server():
+    with ServerThread(jobs=1) as handle:
+        yield handle
+
+
+class TestSolveServer:
+    def test_ping_and_stats(self, server):
+        with ServerClient(port=server.port) as c:
+            pong = c.ping()
+            assert pong["event"] == "pong" and pong["protocol"] == 1
+            st = c.stats()
+            assert st["jobs"] == 1 and st["pool"] is None
+
+    def test_repeated_query_is_cached_bit_identically(self, server):
+        topo, bounds, _ = instance(8)
+        with ServerClient(port=server.port) as c:
+            first = c.solve(topo, bounds)
+            second = c.solve(topo, bounds)
+        assert not first["cache_hit"]
+        assert second["cache_hit"]
+        assert second["instance_key"] == first["instance_key"]
+        # bit-identical, not merely close: the cache returns the stored
+        # payload verbatim, no re-solve and no re-rounding
+        assert second["result"]["cost"] == first["result"]["cost"]
+        assert second["result"]["edge_lengths"] == first["result"]["edge_lengths"]
+        assert second["result"]["delays"] == first["result"]["delays"]
+
+    def test_cached_answer_matches_in_process_solver(self, server):
+        topo, bounds, _ = instance(8)
+        with ServerClient(port=server.port) as c:
+            served = c.solve(topo, bounds)
+        sol = solve_lubt(topo, bounds)
+        assert canonical_cost(served["result"]["cost"]) == canonical_cost(
+            sol.cost
+        )
+
+    def test_cross_client_warm_reuse(self, server):
+        topo, _, radius = instance(9, 0.8, 1.4)
+        m = topo.num_sinks
+        with ServerClient(port=server.port) as first_client:
+            first_client.solve(
+                topo, DelayBounds.uniform(m, 0.8 * radius, 1.4 * radius)
+            )
+        # a *different* connection sweeps *different* windows on the same
+        # structure: its first solve must already be warm-seeded
+        with ServerClient(port=server.port) as second_client:
+            points, done = second_client.sweep(
+                topo,
+                [
+                    DelayBounds.uniform(m, lo * radius, 1.5 * radius)
+                    for lo in (0.55, 0.75)
+                ],
+            )
+        assert done["points"] == 2 and done["errors"] == 0
+        assert points[0]["warm_rows"] > 0
+        assert done["warm_rows_total"] > 0
+
+    def test_sweep_point_cache_hits(self, server):
+        topo, _, radius = instance(7, 0.7, 1.3)
+        m = topo.num_sinks
+        blist = [
+            DelayBounds.uniform(m, lo * radius, 1.3 * radius)
+            for lo in (0.6, 0.8)
+        ]
+        with ServerClient(port=server.port) as c:
+            _, first = c.sweep(topo, blist)
+            points, second = c.sweep(topo, blist)
+        assert first["cache_hits"] == 0
+        assert second["cache_hits"] == 2
+        assert all(p["cache_hit"] for p in points)
+
+    def test_bad_option_is_refused(self, server):
+        topo, bounds, _ = instance(6)
+        with ServerClient(port=server.port) as c:
+            with pytest.raises(ServerError, match="unknown solve option"):
+                c.solve(topo, bounds, explode=True)
+            # the connection survives the error
+            assert c.ping()["event"] == "pong"
+
+    @pytest.mark.filterwarnings("ignore")  # BD002 warns on purpose here
+    def test_infeasible_point_does_not_kill_sweep(self, server):
+        topo, _, radius = instance(6, 0.8, 1.3)
+        m = topo.num_sinks
+        impossible = DelayBounds.unchecked([2 * radius] * m, [radius] * m)
+        fine = DelayBounds.uniform(m, 0.8 * radius, 1.3 * radius)
+        with ServerClient(port=server.port) as c:
+            points, done = c.sweep(
+                topo, [impossible, fine], check_bounds=False
+            )
+        assert done["errors"] == 1
+        assert [p["ok"] for p in points] == [False, True]
+        assert points[0]["index"] == 0 and points[1]["index"] == 1
+
+    def test_malformed_request_line(self, server):
+        with ServerClient(port=server.port) as c:
+            c._sock.sendall(b'{"op": "explode"}\n')
+            reply = c._recv()
+            assert reply["ok"] is False
+            assert reply["error_type"] == "ProtocolError"
+
+    def test_shutdown(self):
+        with ServerThread(jobs=1) as handle:
+            with ServerClient(port=handle.port) as c:
+                assert c.shutdown()["event"] == "bye"
+            handle._thread.join(timeout=10)
+            assert not handle._thread.is_alive()
+
+
+class TestSolveServerPooled:
+    def test_pooled_solves_match_inline(self):
+        topo, bounds, _ = instance(8)
+        sol = solve_lubt(topo, bounds)
+        with ServerThread(jobs=2) as handle:
+            with ServerClient(port=handle.port) as c:
+                served = c.solve(topo, bounds)
+                st = c.stats()
+        assert st["pool"]["tasks_run"] == 1
+        assert canonical_cost(served["result"]["cost"]) == canonical_cost(
+            sol.cost
+        )
+
+    def test_warm_rows_survive_the_process_hop(self):
+        topo, _, radius = instance(9, 0.8, 1.4)
+        m = topo.num_sinks
+        with ServerThread(jobs=2) as handle:
+            with ServerClient(port=handle.port) as c:
+                c.solve(topo, DelayBounds.uniform(m, 0.8 * radius,
+                                                  1.4 * radius))
+                reply = c.solve(topo, DelayBounds.uniform(m, 0.6 * radius,
+                                                          1.5 * radius))
+        assert reply["warm_rows"] > 0
+
+
+class TestServeCli:
+    def test_serve_and_request_round_trip(self, capsys):
+        from repro.cli import main
+        from repro.server import ServerThread
+
+        with ServerThread(jobs=1) as handle:
+            rc = main(
+                [
+                    "request", "--port", str(handle.port),
+                    "--bench", "prim1", "--sinks", "6",
+                ]
+            )
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "served from cache |                no" in out
+            rc = main(
+                [
+                    "request", "--port", str(handle.port),
+                    "--bench", "prim1", "--sinks", "6",
+                ]
+            )
+            assert rc == 0
+            out = capsys.readouterr().out
+            assert "served from cache |               yes" in out

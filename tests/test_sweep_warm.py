@@ -109,6 +109,26 @@ class TestWarmStart:
         assert ws.pairs_for(b) == []  # rows are meaningless across topologies
         assert ws.pairs_for(b) == []  # and stay reset, not flip-flopping
 
+    def test_structurally_identical_topologies_share_rows(self):
+        """Rekeying is by structural hash, not object identity: a fresh
+        object describing the same tree keeps the carried rows (the
+        cross-request reuse the solve server depends on)."""
+        a, b = random_topo(6, 5), random_topo(6, 5)
+        assert a is not b
+        ws = WarmStart()
+        ws.absorb(a, [(1, 2, 0)])
+        assert ws.pairs_for(b) == [(1, 2, 0)]
+
+    def test_seeded_carries_key_and_dedups(self):
+        from repro.topology import topology_hash
+
+        topo = random_topo(6, 6)
+        ws = WarmStart.seeded(topology_hash(topo), [(1, 2, 0), (2, 1, 0)])
+        assert ws.pairs_for(topo) == [(1, 2, 0)]
+        # A wrong key resets on first use, as with any foreign topology.
+        ws2 = WarmStart.seeded("not-a-real-hash", [(1, 2, 0)])
+        assert ws2.pairs_for(topo) == []
+
 
 class TestWarmSweep:
     def test_warm_equals_cold_canonically(self):
