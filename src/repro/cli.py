@@ -10,12 +10,16 @@ Subcommands map one-to-one onto the experiment drivers:
     lubt fig8   --bench prim2 [--sinks 64] [--plot] [--jobs N]
     lubt serve  [--port 9155] [--jobs N] [--cache-size 256]
     lubt request --port 9155 --bench prim1 [--op solve|sweep|stats|...]
+    lubt chaos  [--seed 1234] [--duration 15] [--clients 3] [--jobs 2]
     lubt benchmarks
 
 ``--sinks`` runs the benchmark's scaled view (first N sinks); omit it for
 the full paper-scale net.  ``--jobs N`` solves the independent rows of a
 table across N worker processes (see :mod:`repro.perf`); the rendered
-output is identical to the serial run.
+output is identical to the serial run.  ``table2``/``table3``/``fig8``
+accept ``--journal PATH`` (crash-safe per-solve JSONL journal) and
+``--resume`` (replay a killed run's completed solves and finish the
+rest; the rendered table is byte-identical to an uninterrupted run).
 """
 
 from __future__ import annotations
@@ -64,6 +68,55 @@ def _jobs_arg(parser: argparse.ArgumentParser) -> None:
         help="solve independent rows across N worker processes "
         "(default: 1, serial; output is identical either way)",
     )
+
+
+def _journal_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append each completed solve to a crash-safe JSONL journal; "
+        "a killed run restarted with --resume replays completed work",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an existing --journal instead of refusing to "
+        "overwrite it",
+    )
+
+
+def _open_journal(args):
+    """``--journal/--resume`` -> an open SolveJournal (or None).
+
+    A fresh run refuses a non-empty existing journal unless ``--resume``
+    is given: silently mixing two different runs' records in one file is
+    exactly the corruption the journal exists to prevent.
+    """
+    if args.journal is None:
+        if args.resume:
+            raise SystemExit("--resume requires --journal PATH")
+        return None
+    from pathlib import Path
+
+    from repro.perf import SolveJournal
+
+    path = Path(args.journal)
+    if path.exists() and path.stat().st_size > 0 and not args.resume:
+        raise SystemExit(
+            f"journal {path} already exists; pass --resume to continue "
+            f"it, or delete it to start fresh"
+        )
+    return SolveJournal(path)
+
+
+def _close_journal(journal) -> None:
+    if journal is not None:
+        print(
+            f"journal: {journal.replayed} solve(s) replayed, "
+            f"{journal.appended} appended ({journal.path})"
+        )
+        journal.close()
 
 
 def _load(args) -> object:
@@ -288,17 +341,33 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_table2(args) -> int:
-    print(render_table2(run_table2(_load(args), args.skew, jobs=args.jobs)))
+    journal = _open_journal(args)
+    try:
+        rows = run_table2(
+            _load(args), args.skew, jobs=args.jobs, journal=journal
+        )
+    finally:
+        _close_journal(journal)
+    print(render_table2(rows))
     return 0
 
 
 def _cmd_table3(args) -> int:
-    print(render_table3(run_table3(_load(args), jobs=args.jobs)))
+    journal = _open_journal(args)
+    try:
+        rows = run_table3(_load(args), jobs=args.jobs, journal=journal)
+    finally:
+        _close_journal(journal)
+    print(render_table3(rows))
     return 0
 
 
 def _cmd_fig8(args) -> int:
-    points = run_fig8(_load(args), jobs=args.jobs)
+    journal = _open_journal(args)
+    try:
+        points = run_fig8(_load(args), jobs=args.jobs, journal=journal)
+    finally:
+        _close_journal(journal)
     print(render_fig8(points))
     if args.plot:
         from repro.experiments.fig8 import ascii_plot
@@ -306,6 +375,25 @@ def _cmd_fig8(args) -> int:
         print()
         print(ascii_plot(points))
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.resilience.chaos import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        seed=args.seed,
+        duration=args.duration,
+        clients=args.clients,
+        jobs=args.jobs,
+        sinks=args.sinks,
+        points=args.points,
+        max_inflight=args.max_inflight,
+        queue_limit=args.queue_limit,
+        kill_workers=not args.no_kill,
+    )
+    report = run_chaos(config)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def _cmd_sensitivity(args) -> int:
@@ -569,19 +657,55 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table2", help="reproduce Table 2 for one benchmark")
     _bench_arg(p)
     _jobs_arg(p)
+    _journal_args(p)
     p.add_argument("--skew", type=float, default=0.5, help="skew bound / radius")
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("table3", help="reproduce Table 3 for one benchmark")
     _bench_arg(p)
     _jobs_arg(p)
+    _journal_args(p)
     p.set_defaults(func=_cmd_table3)
 
     p = sub.add_parser("fig8", help="reproduce the Figure 8 tradeoff sweep")
     _bench_arg(p)
     _jobs_arg(p)
+    _journal_args(p)
     p.add_argument("--plot", action="store_true", help="also print an ASCII plot")
     p.set_defaults(func=_cmd_fig8)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded chaos soak: abuse a live solve server with "
+        "overload, worker kills, backend faults, and protocol garbage; "
+        "exit 0 iff zero wrong answers, no hangs, consistent counters",
+    )
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument(
+        "--duration", type=float, default=15.0,
+        help="soak length in seconds (total run is bounded by roughly "
+        "this plus startup/teardown)",
+    )
+    p.add_argument("--clients", type=int, default=3, metavar="N")
+    p.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="server worker processes (>1 enables worker killing)",
+    )
+    p.add_argument("--sinks", type=int, default=7, metavar="N")
+    p.add_argument(
+        "--points", type=int, default=4, metavar="N",
+        help="known-answer bound windows in the instance family",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=1, metavar="N",
+        help="admission-control concurrency (small values force sheds)",
+    )
+    p.add_argument("--queue-limit", type=int, default=1, metavar="N")
+    p.add_argument(
+        "--no-kill", action="store_true",
+        help="do not SIGKILL pool workers during the soak",
+    )
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser(
         "sensitivity", help="per-sink delay-bound shadow prices (LP duals)"

@@ -126,6 +126,8 @@ def solve_lubt(
     on_infeasible: str = "raise",
     warm=None,
     race: str | None = None,
+    breakers=None,
+    solvers=None,
 ) -> LubtSolution:
     """Solve the LUBT problem for a fixed topology (Definition 2.1).
 
@@ -185,6 +187,19 @@ def solve_lubt(
         ``resilient=True`` (racing lives in the resilient pipeline);
         every race's :class:`~repro.resilience.SolveReport` lands in
         ``solution.solve_reports``, cancelled losers included.
+    breakers:
+        A :class:`~repro.resilience.BreakerRegistry` shared across
+        solves (resilient mode only).  Backends whose circuit is open
+        are skipped without paying their timeout; each LP attempt feeds
+        the registry, and per-LP breaker states appear in the solve
+        reports.  Long-lived callers (the solve server, pool workers)
+        pass one registry so a backend's failures in one request protect
+        every later request.
+    solvers:
+        Backend-callable overrides forwarded to
+        :func:`repro.resilience.solve_lp_resilient` (resilient mode
+        only) — the fault-injection seam chaos tests use to force
+        server-side backend failures.
     """
     if race not in (None, "off", "auto"):
         raise ValueError(f"unknown race mode {race!r}")
@@ -219,6 +234,8 @@ def solve_lubt(
         lp_timeout=lp_timeout,
         warm=warm,
         race=race,
+        breakers=breakers,
+        solvers=solvers,
     )
     if check_bounds:
         try:
@@ -242,7 +259,7 @@ def solve_lubt(
 
             report = solve_lp_resilient(
                 lp, backend_chain(lp, resolved), timeout=lp_timeout,
-                race=race,
+                race=race, breakers=breakers, solvers=solvers,
             )
             reports.append(report)
             return report.result

@@ -41,6 +41,7 @@ def run_fig8(
     backend: str = "auto",
     jobs: int = 1,
     warm: bool = True,
+    journal=None,
 ) -> list[Fig8Point]:
     """The tradeoff sweep, warm-started.
 
@@ -53,7 +54,10 @@ def run_fig8(
     (and one process-local warm state) per shard.  Reported costs are
     :func:`~repro.ebf.canonical_cost`-quantized, so warm, cold, and
     sharded runs agree bit for bit; the shape checks run on the
-    gathered series either way.
+    gathered series either way.  ``journal`` (a
+    :class:`~repro.perf.SolveJournal`) replays completed grid points
+    and durably appends fresh ones, so a killed sweep resumes where it
+    stopped (``lubt fig8 --journal/--resume``).
     """
     sinks = list(bench.sinks)
     radius = manhattan_radius_from(bench.source, sinks)
@@ -68,6 +72,7 @@ def run_fig8(
         topo,
         bounds_list,
         jobs=jobs,
+        journal=journal,
         warm=warm,
         backend=backend,
         check_bounds=False,

@@ -44,6 +44,7 @@ def run_table2(
     backend: str = "auto",
     jobs: int = 1,
     warm: bool = True,
+    journal=None,
 ) -> list[Table2Row]:
     """All windows for one (benchmark, skew bound) block of Table 2.
 
@@ -53,7 +54,10 @@ def run_table2(
     :func:`~repro.ebf.canonical_cost`-quantized so warm/cold/sharded
     runs agree bit for bit.  ``jobs > 1`` solves contiguous window
     shards in worker processes; the baseline tree (which fixes the
-    topology) is built once up front either way.
+    topology) is built once up front either way.  ``journal`` (a
+    :class:`~repro.perf.SolveJournal`) makes the sweep crash-safe and
+    resumable: completed windows replay from the journal, fresh ones
+    are durably appended (``lubt table2 --journal/--resume``).
     """
     sinks = list(bench.sinks)
     radius = manhattan_radius_from(bench.source, sinks)
@@ -82,6 +86,7 @@ def run_table2(
         topo,
         bounds_list,
         jobs=jobs,
+        journal=journal,
         warm=warm,
         backend=backend,
         check_bounds=False,

@@ -51,12 +51,16 @@ def run_table3(
     backend: str = "auto",
     jobs: int = 1,
     warm: bool = True,
+    journal=None,
 ) -> list[Table3Row]:
     """All bound combinations for one benchmark, as a warm-started sweep
     on the shared nearest-neighbor topology (``warm=False`` solves each
     combination cold); costs are
     :func:`~repro.ebf.canonical_cost`-quantized so warm/cold/sharded
-    runs agree bit for bit."""
+    runs agree bit for bit.  ``journal`` (a
+    :class:`~repro.perf.SolveJournal`) replays completed combinations
+    and durably appends fresh ones, so a killed run resumes where it
+    stopped (``lubt table3 --journal/--resume``)."""
     sinks = list(bench.sinks)
     radius = manhattan_radius_from(bench.source, sinks)
     topo = nearest_neighbor_topology(sinks, bench.source)
@@ -69,6 +73,7 @@ def run_table3(
         topo,
         bounds_list,
         jobs=jobs,
+        journal=journal,
         warm=warm,
         backend=backend,
         check_bounds=False,

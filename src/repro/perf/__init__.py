@@ -14,7 +14,12 @@ item).
 * :func:`solve_sweep_sharded` — warm-started bound sweep chunked into
   contiguous shards, one :class:`~repro.ebf.WarmStart` per worker;
 * :class:`WorkerPool` — *resident* workers reused across submissions
-  (the :mod:`repro.server` dispatch path), same kill/crash guarantees;
+  (the :mod:`repro.server` dispatch path), same kill/crash guarantees,
+  plus a consecutive-crash cap (:class:`PoolCrashLoopError`) so a
+  poison task cannot respawn workers forever;
+* :class:`SolveJournal` — crash-safe JSONL checkpoint of completed
+  solves keyed by canonical instance key; ``solve_many`` /
+  ``solve_sweep_sharded`` take ``journal=`` to resume a killed batch;
 * :class:`TaskOutcome` — per-task result/error/timeout/crash record.
 
 Serial (``jobs=1``, no timeout) execution runs inline in the parent
@@ -24,11 +29,18 @@ either path match exactly.
 """
 
 from repro.perf.pool import (
+    PoolCrashLoopError,
     TaskError,
     TaskOutcome,
     WorkerPool,
     map_many,
     run_many,
+)
+from repro.perf.journal import (
+    JournalError,
+    SolveJournal,
+    solution_from_record,
+    solution_to_record,
 )
 from repro.perf.batch import (
     SolveTask,
@@ -38,12 +50,17 @@ from repro.perf.batch import (
 )
 
 __all__ = [
+    "JournalError",
+    "PoolCrashLoopError",
+    "SolveJournal",
     "TaskError",
     "TaskOutcome",
     "WorkerPool",
     "map_many",
     "run_many",
     "SolveTask",
+    "solution_from_record",
+    "solution_to_record",
     "solve_many",
     "solve_sweep_sharded",
     "sweep_chunks",

@@ -13,6 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from repro.perf.journal import (
+    SolveJournal,
+    solution_from_record,
+    solution_to_record,
+)
 from repro.perf.pool import TaskOutcome, map_many, run_many
 
 
@@ -31,12 +36,25 @@ def _solve_task(task: SolveTask):
     return solve_lubt(task.topo, task.bounds, **dict(task.options))
 
 
+def _task_key(topo: Any, bounds: Any, options: Mapping[str, Any]) -> str:
+    # Imported here: repro.server already imports repro.perf.
+    from repro.server.keys import instance_key
+
+    return instance_key(topo, bounds, dict(options))
+
+
+def _waves(items: Sequence[Any], size: int) -> list[list[Any]]:
+    """Split ``items`` into consecutive waves of at most ``size``."""
+    return [list(items[a:a + size]) for a in range(0, len(items), size)]
+
+
 def solve_many(
     tasks: Sequence[SolveTask],
     *,
     jobs: int = 1,
     timeout: float | None = None,
     start_method: str | None = None,
+    journal: SolveJournal | None = None,
 ) -> list[TaskOutcome]:
     """Solve every task; outcomes come back in task order.
 
@@ -44,14 +62,56 @@ def solve_many(
     ``outcome.unwrap()`` raises :class:`~repro.perf.TaskError` on worker
     failure or timeout.  ``jobs=1`` with no timeout runs inline and is
     bit-for-bit identical to a serial loop of ``solve_lubt`` calls.
+
+    With a ``journal`` (:class:`~repro.perf.SolveJournal`), tasks whose
+    canonical instance key already has a journal record are *replayed*
+    instead of re-solved, and fresh successes are durably appended as
+    the batch progresses (one fsync'd record per solve, committed in
+    waves of ``jobs`` tasks) — so a run killed mid-batch resumes from
+    its last completed wave instead of from zero.  Failed/timed-out
+    tasks are never journaled; a resume retries them.
     """
-    return run_many(
-        _solve_task,
-        [(t,) for t in tasks],
-        jobs=jobs,
-        timeout=timeout,
-        start_method=start_method,
-    )
+    if journal is None:
+        return run_many(
+            _solve_task,
+            [(t,) for t in tasks],
+            jobs=jobs,
+            timeout=timeout,
+            start_method=start_method,
+        )
+
+    tasks = list(tasks)
+    keys = [_task_key(t.topo, t.bounds, t.options) for t in tasks]
+    done = journal.load()
+    results: list[TaskOutcome | None] = [None] * len(tasks)
+    fresh: list[int] = []
+    for i, t in enumerate(tasks):
+        rec = done.get(keys[i])
+        if rec is not None:
+            results[i] = TaskOutcome(
+                i, True, solution_from_record(rec, t.topo, t.bounds)
+            )
+            journal.replayed += 1
+        else:
+            fresh.append(i)
+    for wave in _waves(fresh, max(1, jobs)):
+        outcomes = run_many(
+            _solve_task,
+            [(tasks[i],) for i in wave],
+            jobs=jobs,
+            timeout=timeout,
+            start_method=start_method,
+        )
+        for i, o in zip(wave, outcomes):
+            results[i] = TaskOutcome(
+                i, o.ok, o.value, o.error, o.timed_out, o.crashed, o.elapsed
+            )
+            if o.ok and keys[i] not in done:
+                rec = solution_to_record(o.value)
+                journal.append(keys[i], rec)
+                done[keys[i]] = rec
+    assert all(r is not None for r in results)
+    return results  # type: ignore[return-value]
 
 
 def sweep_chunks(count: int, chunks: int) -> list[tuple[int, int]]:
@@ -90,6 +150,7 @@ def solve_sweep_sharded(
     chunks: int | None = None,
     timeout: float | None = None,
     start_method: str | None = None,
+    journal: SolveJournal | None = None,
     **options: Any,
 ) -> list[Any]:
     """Warm-started sweep over one topology, sharded across processes.
@@ -109,14 +170,64 @@ def solve_sweep_sharded(
     ulp) can depend on the chunking because warm seeding selects among
     degenerate LP optima; report costs through
     :func:`repro.ebf.canonical_cost` for chunking-invariant output.
+
+    With a ``journal``, points whose canonical instance key is already
+    recorded are replayed; only the missing points are swept (as their
+    own contiguous sub-sweep), with each shard's records fsync'd as it
+    completes.  Resumed sweeps therefore re-chunk the *remaining*
+    points — same caveat as above: chunking-invariant at the
+    :func:`repro.ebf.canonical_cost` level, where every experiment
+    table reports.
     """
     bounds_list = list(bounds_list)
-    spans = sweep_chunks(len(bounds_list), chunks if chunks else max(1, jobs))
-    shard_results = map_many(
-        _solve_sweep_chunk,
-        [(topo, bounds_list[a:b], options) for a, b in spans],
-        jobs=jobs,
-        timeout=timeout,
-        start_method=start_method,
-    )
-    return [sol for shard in shard_results for sol in shard]
+    if journal is None:
+        spans = sweep_chunks(
+            len(bounds_list), chunks if chunks else max(1, jobs)
+        )
+        shard_results = map_many(
+            _solve_sweep_chunk,
+            [(topo, bounds_list[a:b], options) for a, b in spans],
+            jobs=jobs,
+            timeout=timeout,
+            start_method=start_method,
+        )
+        return [sol for shard in shard_results for sol in shard]
+
+    keys = [_task_key(topo, b, options) for b in bounds_list]
+    done = journal.load()
+    results: list[Any] = [None] * len(bounds_list)
+    missing: list[int] = []
+    for i, b in enumerate(bounds_list):
+        rec = done.get(keys[i])
+        if rec is not None:
+            results[i] = solution_from_record(rec, topo, b)
+            journal.replayed += 1
+        else:
+            missing.append(i)
+    if missing:
+        spans = sweep_chunks(
+            len(missing), chunks if chunks else max(1, jobs)
+        )
+        # One wave of shards at a time so every completed shard is
+        # durable before the next wave starts (a SIGKILL costs at most
+        # the in-flight wave).
+        for wave in _waves(spans, max(1, jobs)):
+            shard_results = map_many(
+                _solve_sweep_chunk,
+                [
+                    (topo, [bounds_list[i] for i in missing[a:b]], options)
+                    for a, b in wave
+                ],
+                jobs=jobs,
+                timeout=timeout,
+                start_method=start_method,
+            )
+            for (a, b), shard in zip(wave, shard_results):
+                for i, sol in zip(missing[a:b], shard):
+                    results[i] = sol
+                    if keys[i] not in done:
+                        rec = solution_to_record(sol)
+                        journal.append(keys[i], rec)
+                        done[keys[i]] = rec
+    assert all(r is not None for r in results)
+    return results

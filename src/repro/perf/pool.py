@@ -22,6 +22,17 @@ class TaskError(RuntimeError):
     """A pooled task failed (worker exception, crash, or timeout)."""
 
 
+class PoolCrashLoopError(TaskError):
+    """Workers crashed ``max_consecutive_crashes`` times in a row.
+
+    A poison task (or a sick machine — OOM killer, bad native lib) that
+    kills every worker it touches would otherwise respawn processes
+    forever.  The pool stays usable after this raise — the crashed seat
+    was already refilled — but the caller is told to stop feeding it the
+    same work.  The message names the last failing task.
+    """
+
+
 @dataclass(frozen=True)
 class TaskOutcome:
     """Result record for one pooled task, in submission order.
@@ -51,6 +62,12 @@ class TaskOutcome:
             else "failed"
         )
         raise TaskError(f"task {self.index} {kind}: {self.error}")
+
+
+def _args_preview(args: tuple, limit: int = 120) -> str:
+    """Truncated repr of a task's arguments for error messages."""
+    text = repr(args)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
 
 
 def _worker_main(fn, args, conn_out) -> None:
@@ -312,9 +329,20 @@ class WorkerPool:
     resident workers are forked once, so tasks always travel by pipe.
     """
 
-    def __init__(self, jobs: int = 2, start_method: str | None = None):
+    def __init__(
+        self,
+        jobs: int = 2,
+        start_method: str | None = None,
+        *,
+        max_consecutive_crashes: int = 5,
+    ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_consecutive_crashes < 1:
+            raise ValueError(
+                f"max_consecutive_crashes must be >= 1, "
+                f"got {max_consecutive_crashes}"
+            )
         import threading
 
         self._ctx = _pool_context(start_method)
@@ -322,9 +350,12 @@ class WorkerPool:
         self._idle: list[_ResidentWorker] = [
             _ResidentWorker(self._ctx) for _ in range(jobs)
         ]
+        self._workers: set[_ResidentWorker] = set(self._idle)
         self._free = threading.Semaphore(jobs)
         self._lock = threading.Lock()
         self._closed = False
+        self._max_consecutive_crashes = max_consecutive_crashes
+        self._consecutive_crashes = 0
         self.tasks_run = 0
         self.workers_replaced = 0
 
@@ -339,7 +370,11 @@ class WorkerPool:
 
         Returns a :class:`TaskOutcome` (index 0).  On timeout the worker
         is killed and replaced; on a worker crash the outcome is marked
-        ``crashed`` and the seat is refilled.
+        ``crashed`` and the seat is refilled.  ``max_consecutive_crashes``
+        crashes in a row (timeouts and reported exceptions don't count;
+        any non-crash outcome resets the streak) raise
+        :class:`PoolCrashLoopError` *after* refilling the seat, so the
+        pool survives its own circuit-break.
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -351,6 +386,19 @@ class WorkerPool:
             with self._lock:
                 self._idle.append(worker)
                 self.tasks_run += 1
+                if outcome.crashed:
+                    self._consecutive_crashes += 1
+                    streak = self._consecutive_crashes
+                else:
+                    self._consecutive_crashes = 0
+                    streak = 0
+            if outcome.crashed and streak >= self._max_consecutive_crashes:
+                fn_name = getattr(fn, "__name__", repr(fn))
+                raise PoolCrashLoopError(
+                    f"workers crashed {streak} times in a row "
+                    f"(cap {self._max_consecutive_crashes}); last task: "
+                    f"{fn_name}{_args_preview(args)} — {outcome.error}"
+                )
             return outcome
         finally:
             self._free.release()
@@ -394,8 +442,18 @@ class WorkerPool:
 
     def _replace(self, worker, kill: bool = False) -> _ResidentWorker:
         worker.stop(kill=kill)
-        self.workers_replaced += 1
-        return _ResidentWorker(self._ctx)
+        fresh = _ResidentWorker(self._ctx)
+        with self._lock:
+            self._workers.discard(worker)
+            self._workers.add(fresh)
+            self.workers_replaced += 1
+        return fresh
+
+    def worker_processes(self) -> list:
+        """Live worker :class:`multiprocessing.Process` handles (busy and
+        idle) — the chaos harness kills these to exercise crash paths."""
+        with self._lock:
+            return [w.proc for w in self._workers]
 
     def run_many(
         self,
@@ -428,6 +486,7 @@ class WorkerPool:
                 return
             self._closed = True
             workers, self._idle = self._idle, []
+            self._workers.difference_update(workers)
         for w in workers:
             w.stop()
 

@@ -15,7 +15,14 @@ hardens the LP -> embed pipeline in three layers:
   relaxed-but-embeddable bounds for graceful degradation;
 * :mod:`repro.resilience.faults` — deterministic fault injection
   wrappers (exceptions, stalls, NaN solutions, wrong statuses) so the
-  fallback and retry logic is exercisable in CI, not just in outages.
+  fallback and retry logic is exercisable in CI, not just in outages;
+* :mod:`repro.resilience.breaker` — per-backend circuit breakers
+  (closed / open / half-open) that stop paying timeouts for a backend
+  that keeps failing, shared by ``solve_lp_resilient`` and the server;
+* :mod:`repro.resilience.chaos` — a seeded chaos soak harness
+  (:func:`run_chaos`) that abuses a live solve server with overload,
+  worker kills, injected backend faults, and protocol garbage while
+  asserting zero wrong answers, no hangs, and consistent counters.
 
 Entry points upstack: ``solve_lubt(..., resilient=True,
 on_infeasible="diagnose"|"relax")`` and the ``lubt solve --resilient
@@ -23,6 +30,11 @@ on_infeasible="diagnose"|"relax")`` and the ``lubt solve --resilient
 """
 
 from repro.lp.result import BackendCapabilityError
+from repro.resilience.breaker import (
+    BreakerRegistry,
+    CircuitBreaker,
+    default_registry,
+)
 from repro.resilience.errors import AllBackendsFailedError, ResilienceError
 from repro.resilience.report import AttemptOutcome, SolveAttempt, SolveReport
 from repro.resilience.fallback import (
@@ -39,11 +51,16 @@ from repro.resilience.elastic import (
     diagnose_infeasibility,
 )
 from repro.resilience import faults
+from repro.resilience.chaos import ChaosConfig, ChaosReport, run_chaos
 
 __all__ = [
     "AllBackendsFailedError",
     "AttemptOutcome",
     "BackendCapabilityError",
+    "BreakerRegistry",
+    "ChaosConfig",
+    "ChaosReport",
+    "CircuitBreaker",
     "DEFAULT_CHAIN",
     "InfeasibilityDiagnosis",
     "ResilienceError",
@@ -52,9 +69,11 @@ __all__ = [
     "SolveReport",
     "backend_chain",
     "build_elastic_lp",
+    "default_registry",
     "default_solvers",
     "diagnose_infeasibility",
     "faults",
     "rescale_lp",
+    "run_chaos",
     "solve_lp_resilient",
 ]

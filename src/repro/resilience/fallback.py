@@ -25,6 +25,7 @@ import numpy as np
 from repro.lp.model import LinearProgram
 from repro.lp.result import BackendCapabilityError, LpResult, LpStatus
 from repro.lp.solve import preferred_backend
+from repro.resilience.breaker import BreakerRegistry
 from repro.resilience.errors import AllBackendsFailedError
 from repro.resilience.report import AttemptOutcome, SolveAttempt, SolveReport
 
@@ -111,6 +112,31 @@ def _unscale_result(raw: LpResult, s: float, lp: LinearProgram) -> LpResult:
     )
 
 
+def _breaker_skip(report: SolveReport, name: str) -> None:
+    report.attempts.append(SolveAttempt(
+        name, AttemptOutcome.SKIPPED, 0.0,
+        error="circuit breaker open — backend not attempted",
+    ))
+
+
+def _breaker_record(
+    breakers: BreakerRegistry | None, name: str, outcome: str
+) -> None:
+    """Feed one attempt's verdict to the backend's breaker.
+
+    Definitive answers close/heal; pipeline failures count against the
+    backend; CANCELLED/SKIPPED attempts never ran and count neither way.
+    Capability errors are handled by the caller (they are permanent facts
+    about model shape, not backend health — see ``solve_lp_resilient``).
+    """
+    if breakers is None:
+        return
+    if outcome in AttemptOutcome.TERMINAL:
+        breakers.record(name, True)
+    elif outcome in AttemptOutcome.BREAKER_FAILURES:
+        breakers.record(name, False)
+
+
 def _race_backends(
     lp: LinearProgram,
     chain: Sequence[str],
@@ -118,6 +144,7 @@ def _race_backends(
     timeout: float | None,
     feas_tol: float,
     report: SolveReport,
+    breakers: BreakerRegistry | None = None,
 ) -> LpResult | None:
     """Run every chain backend on ``lp`` concurrently; first definitive
     (optimal / infeasible / unbounded, post-validation) answer wins.
@@ -130,7 +157,22 @@ def _race_backends(
     was still running (or queued) when the winner crossed the line, or
     ``TIMEOUT`` if the shared deadline expired with no winner.  Returns
     the winning result, or ``None`` when no backend was definitive.
+
+    With ``breakers``, open-circuited backends are excluded from the
+    race up front (recorded as ``SKIPPED``), and every finished or
+    deadline-expired racer feeds its verdict back; a race with every
+    lane open-circuited returns ``None`` without spawning a thread.
     """
+    if breakers is not None:
+        racers = []
+        for name in chain:
+            if breakers.allow(name):
+                racers.append(name)
+            else:
+                _breaker_skip(report, name)
+        chain = tuple(racers)
+        if not chain:
+            return None
     order = {name: pos for pos, name in enumerate(chain)}
     start = time.perf_counter()
     deadline = None if timeout is None else start + timeout
@@ -165,6 +207,10 @@ def _race_backends(
                         name, AttemptOutcome.EXCEPTION, elapsed,
                         error=f"{type(exc).__name__}: {exc}",
                     ))
+                    if not isinstance(exc, BackendCapabilityError):
+                        _breaker_record(
+                            breakers, name, AttemptOutcome.EXCEPTION
+                        )
                     continue
                 outcome = _validated_outcome(lp, raw, feas_tol)
                 report.attempts.append(SolveAttempt(
@@ -174,6 +220,7 @@ def _race_backends(
                     else None,
                     iterations=raw.iterations,
                 ))
+                _breaker_record(breakers, name, outcome)
                 if winner is None and outcome in AttemptOutcome.TERMINAL:
                     winner = raw
         elapsed = time.perf_counter() - start
@@ -190,6 +237,7 @@ def _race_backends(
                     name, AttemptOutcome.TIMEOUT, elapsed,
                     error=f"exceeded {timeout:g}s wall clock",
                 ))
+                _breaker_record(breakers, name, AttemptOutcome.TIMEOUT)
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
     return winner
@@ -238,6 +286,7 @@ def solve_lp_resilient(
     raise_on_failure: bool = True,
     feasibility_tol: float = 1e-6,
     race: str | None = None,
+    breakers: BreakerRegistry | None = None,
 ) -> SolveReport:
     """Solve ``lp`` through a backend cascade; never die on one backend.
 
@@ -273,6 +322,15 @@ def solve_lp_resilient(
         mode trades the sequential path's salvage machinery (rescale
         retry, infeasibility second opinions) for latency; with a
         single-backend chain it falls back to sequential.
+    breakers:
+        Optional :class:`~repro.resilience.breaker.BreakerRegistry`.
+        When given, an open-circuited backend is skipped outright (a
+        ``SKIPPED`` attempt in the report — no timeout paid), every real
+        attempt feeds its verdict back to the backend's breaker, and the
+        registry's post-solve states are stamped on
+        ``report.breaker_states``.  :class:`BackendCapabilityError`
+        attempts are *not* counted against a breaker: a capability gap
+        is a permanent fact about the model's shape, not backend health.
 
     Returns the :class:`SolveReport`; ``report.result`` is the terminal
     :class:`LpResult`.  Feasibility validation uses ``feasibility_tol``
@@ -296,8 +354,10 @@ def solve_lp_resilient(
     if race == "auto" and len(chain) >= 2:
         report = SolveReport()
         winner = _race_backends(
-            lp, chain, solver_map, timeout, feas_tol, report
+            lp, chain, solver_map, timeout, feas_tol, report, breakers
         )
+        if breakers is not None:
+            report.breaker_states = breakers.states()
         if winner is not None:
             report.result = winner
             return report
@@ -310,6 +370,9 @@ def solve_lp_resilient(
     pending_infeasible: LpResult | None = None
 
     for pos, name in enumerate(chain):
+        if breakers is not None and not breakers.allow(name):
+            _breaker_skip(report, name)
+            continue
         rescaled = False
         while True:
             if rescaled:
@@ -327,6 +390,7 @@ def solve_lp_resilient(
                     time.perf_counter() - start, rescaled,
                     error=f"exceeded {timeout:g}s wall clock",
                 ))
+                _breaker_record(breakers, name, AttemptOutcome.TIMEOUT)
                 break  # more time, not rescaling, is what a timeout needs
             except BackendCapabilityError as exc:
                 report.attempts.append(SolveAttempt(
@@ -340,6 +404,7 @@ def solve_lp_resilient(
                     time.perf_counter() - start, rescaled,
                     error=f"{type(exc).__name__}: {exc}",
                 ))
+                _breaker_record(breakers, name, AttemptOutcome.EXCEPTION)
                 if rescale_retry and not rescaled:
                     rescaled = True
                     continue
@@ -354,6 +419,7 @@ def solve_lp_resilient(
                 else None,
                 iterations=result.iterations,
             ))
+            _breaker_record(breakers, name, outcome)
             if outcome in AttemptOutcome.TERMINAL:
                 if (
                     outcome is AttemptOutcome.INFEASIBLE
@@ -364,12 +430,16 @@ def solve_lp_resilient(
                         pending_infeasible = result
                     break  # seek a second opinion
                 report.result = result
+                if breakers is not None:
+                    report.breaker_states = breakers.states()
                 return report
             if outcome in AttemptOutcome.NUMERICAL and rescale_retry and not rescaled:
                 rescaled = True
                 continue
             break
 
+    if breakers is not None:
+        report.breaker_states = breakers.states()
     if pending_infeasible is not None:
         # Only one backend could weigh in; its verdict stands.
         report.result = pending_infeasible

@@ -30,11 +30,17 @@ class AttemptOutcome:
     TIMEOUT = "timeout"  # per-attempt wall clock exceeded
     INVALID = "invalid-solution"  # "optimal" with NaN/infeasible x
     CANCELLED = "cancelled"  # lost a backend race; result discarded
+    SKIPPED = "skipped"  # circuit breaker open; backend never invoked
 
     #: Outcomes that settle the model's fate — no further attempts needed.
     TERMINAL = frozenset({OPTIMAL, INFEASIBLE, UNBOUNDED})
     #: Outcomes worth a same-backend retry after rescaling (numerics).
     NUMERICAL = frozenset({ERROR, INVALID})
+    #: Outcomes a circuit breaker counts against the backend.  Definitive
+    #: answers prove the backend works (the model's feasibility is not its
+    #: fault); CANCELLED/SKIPPED attempts never ran, so they count neither
+    #: way.
+    BREAKER_FAILURES = frozenset({ERROR, EXCEPTION, TIMEOUT, INVALID})
 
 
 @dataclass(frozen=True)
@@ -72,6 +78,11 @@ class SolveReport:
     came from*: a cache-served report has ``cache_hit=True`` (and no
     fresh attempts), and ``warm_rows`` counts Steiner rows re-seeded
     from the cross-request warm store before the first LP solve.
+
+    ``breaker_states`` records the per-backend circuit-breaker state
+    (``closed`` / ``open`` / ``half-open``) *after* this solve, when a
+    :class:`~repro.resilience.breaker.BreakerRegistry` was consulted —
+    an ``open`` entry explains any ``skipped`` attempts above it.
     """
 
     attempts: list[SolveAttempt] = field(default_factory=list)
@@ -82,6 +93,9 @@ class SolveReport:
     cache_hit: bool = False
     #: Steiner rows seeded from a cross-request WarmStart carry-over.
     warm_rows: int = 0
+    #: Circuit-breaker state per backend after this solve (when a
+    #: registry was consulted; empty otherwise).
+    breaker_states: dict = field(default_factory=dict)
 
     @property
     def succeeded(self) -> bool:
@@ -119,4 +133,12 @@ class SolveReport:
             lines.append(f"   warm-seeded {self.warm_rows} Steiner rows")
         if self.instance_key:
             lines.append(f"   instance {self.instance_key[:16]}…")
+        if self.breaker_states:
+            lines.append(
+                "   breakers: "
+                + ", ".join(
+                    f"{name}={state}"
+                    for name, state in sorted(self.breaker_states.items())
+                )
+            )
         return "\n".join(lines)

@@ -11,19 +11,30 @@ The pieces:
   topology hash, feeding :class:`repro.ebf.WarmStart` re-seeding;
 * :mod:`repro.server.protocol` — the JSON-lines wire format;
 * :mod:`repro.server.dispatch` — the asyncio :class:`SolveServer` (and
-  :class:`ServerThread` for embedding one in tests/benches);
-* :mod:`repro.server.client` — the blocking :class:`ServerClient`.
+  :class:`ServerThread` for embedding one in tests/benches), with
+  admission control, client deadlines, and per-backend circuit
+  breakers (see docs/SERVER.md "Overload, deadlines, and recovery");
+* :mod:`repro.server.client` — the blocking :class:`ServerClient`,
+  with backoff-and-jitter retries on connect failures and typed
+  ``busy`` sheds.
 """
 
 from repro.server.cache import LruCache
-from repro.server.client import ServerClient, ServerError
-from repro.server.dispatch import ALLOWED_OPTIONS, ServerThread, SolveServer
+from repro.server.client import ServerBusyError, ServerClient, ServerError
+from repro.server.dispatch import (
+    ALLOWED_OPTIONS,
+    DeadlineExpiredError,
+    ServerOverloadedError,
+    ServerThread,
+    SolveServer,
+)
 from repro.server.keys import instance_key, quantize_bounds
 from repro.server.protocol import (
     MAX_LINE_BYTES,
     OPS,
     PROTOCOL_VERSION,
     ProtocolError,
+    busy_reply,
     decode_line,
     encode_line,
     error_reply,
@@ -33,16 +44,20 @@ from repro.server.warm import WarmStore
 
 __all__ = [
     "ALLOWED_OPTIONS",
+    "DeadlineExpiredError",
     "LruCache",
     "MAX_LINE_BYTES",
     "OPS",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "ServerBusyError",
     "ServerClient",
     "ServerError",
+    "ServerOverloadedError",
     "ServerThread",
     "SolveServer",
     "WarmStore",
+    "busy_reply",
     "decode_line",
     "encode_line",
     "error_reply",

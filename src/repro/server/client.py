@@ -8,12 +8,23 @@ shared resident server instead of an in-process solver::
     with ServerClient(port=9155) as c:
         reply = c.solve(topo, bounds)
         print(reply["result"]["cost"], reply["cache_hit"])
+
+The client retries transient failures so callers don't have to: a
+refused/odd connection is retried with exponential backoff and
+deterministic jitter (``connect_retries``), and a typed ``busy`` shed
+from admission control is retried after the server's ``retry_after``
+hint (``busy_retries``).  Both loops respect ``retry_deadline`` — a
+total wall-clock budget after which the last error surfaces instead of
+another sleep.  ``sleep``/``clock`` are injectable so the backoff
+schedule is unit-testable with a fake clock.
 """
 
 from __future__ import annotations
 
+import random
 import socket
-from typing import Any, Iterable, Mapping, Sequence
+import time
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.data.instance_json import instance_to_dict
 from repro.ebf.bounds import DelayBounds
@@ -30,11 +41,29 @@ class ServerError(RuntimeError):
     def __init__(self, reply: Mapping[str, Any]):
         self.reply = dict(reply)
         self.error_type = reply.get("error_type", "Error")
+        self.code = reply.get("code")
         super().__init__(f"{self.error_type}: {reply.get('error', '?')}")
 
 
+class ServerBusyError(ServerError):
+    """Admission control shed the request and retries were exhausted."""
+
+    def __init__(self, reply: Mapping[str, Any]):
+        super().__init__(reply)
+        self.retry_after = float(reply.get("retry_after", 0.0))
+
+
 class ServerClient:
-    """One connection to a :class:`repro.server.SolveServer`."""
+    """One connection to a :class:`repro.server.SolveServer`.
+
+    ``connect_retries`` bounds reconnect attempts (with backoff +
+    jitter) when the initial connection fails — a server still binding
+    its socket, or a load balancer blip, shouldn't kill a batch script.
+    ``busy_retries`` bounds re-sends after typed ``busy`` sheds, waiting
+    at least the server's ``retry_after`` hint between attempts.
+    ``retry_deadline`` caps the *total* seconds spent retrying either
+    way; ``jitter_seed`` makes the backoff schedule reproducible.
+    """
 
     def __init__(
         self,
@@ -42,10 +71,59 @@ class ServerClient:
         port: int = 9155,
         *,
         timeout: float | None = 300.0,
+        connect_retries: int = 4,
+        busy_retries: int = 4,
+        backoff: float = 0.2,
+        backoff_cap: float = 5.0,
+        retry_deadline: float | None = None,
+        jitter_seed: int = 0,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
     ):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        if connect_retries < 0 or busy_retries < 0:
+            raise ValueError("retry counts must be >= 0")
+        self._busy_retries = busy_retries
+        self._backoff = backoff
+        self._backoff_cap = backoff_cap
+        self._rng = random.Random(jitter_seed)
+        self._sleep = sleep
+        self._clock = clock
+        self._deadline_at = (
+            None if retry_deadline is None else clock() + retry_deadline
+        )
+        self._sock = self._connect(host, port, timeout, connect_retries)
         self._file = self._sock.makefile("rb")
         self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # retry plumbing
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter in [0.5x, 1x]."""
+        base = min(self._backoff_cap, self._backoff * (2.0 ** attempt))
+        return base * (0.5 + 0.5 * self._rng.random())
+
+    def _budget_allows(self, delay: float) -> bool:
+        """Would sleeping ``delay`` stay inside the retry deadline?"""
+        if self._deadline_at is None:
+            return True
+        return self._clock() + delay <= self._deadline_at
+
+    def _connect(
+        self, host: str, port: int, timeout: float | None, retries: int
+    ) -> socket.socket:
+        attempt = 0
+        while True:
+            try:
+                return socket.create_connection(
+                    (host, port), timeout=timeout
+                )
+            except OSError:
+                delay = self._backoff_delay(attempt)
+                if attempt >= retries or not self._budget_allows(delay):
+                    raise
+                self._sleep(delay)
+                attempt += 1
 
     # ------------------------------------------------------------------
     # transport
@@ -66,13 +144,32 @@ class ServerClient:
         return obj
 
     def request(self, request: dict[str, Any]) -> dict[str, Any]:
-        """Send one request, return its single reply (raises
-        :class:`ServerError` on an error event)."""
-        self._send(request)
-        reply = self._recv()
-        if not reply.get("ok", False):
-            raise ServerError(reply)
-        return reply
+        """Send one request, return its single reply.
+
+        A typed ``busy`` shed is retried up to ``busy_retries`` times,
+        sleeping the larger of the server's ``retry_after`` hint and the
+        jittered backoff; exhausted retries raise
+        :class:`ServerBusyError`.  Other error events raise
+        :class:`ServerError` immediately.
+        """
+        attempt = 0
+        while True:
+            self._send(request)
+            reply = self._recv()
+            if reply.get("ok", False):
+                return reply
+            if reply.get("code") != "busy":
+                raise ServerError(reply)
+            delay = max(
+                float(reply.get("retry_after", 0.0)),
+                self._backoff_delay(attempt),
+            )
+            if attempt >= self._busy_retries or not self._budget_allows(
+                delay
+            ):
+                raise ServerBusyError(reply)
+            self._sleep(delay)
+            attempt += 1
 
     # ------------------------------------------------------------------
     # operations
@@ -90,16 +187,25 @@ class ServerClient:
         self,
         topo: Topology,
         bounds: DelayBounds,
+        *,
+        deadline: float | None = None,
         **options: Any,
     ) -> dict[str, Any]:
         """Solve one instance; returns the ``result`` reply (with
-        ``instance_key`` / ``cache_hit`` / ``warm_rows`` provenance)."""
-        return self.request(
-            {
-                "op": "solve",
-                "instance": instance_to_dict(topo, bounds, options or None),
-            }
-        )
+        ``instance_key`` / ``cache_hit`` / ``warm_rows`` provenance).
+
+        ``deadline`` (seconds) travels with the request: the server
+        fails it fast with ``deadline-expired`` rather than letting it
+        rot in the admission queue, and the remaining budget caps the
+        pool's hard-kill solve timeout.
+        """
+        req: dict[str, Any] = {
+            "op": "solve",
+            "instance": instance_to_dict(topo, bounds, options or None),
+        }
+        if deadline is not None:
+            req["deadline"] = float(deadline)
+        return self.request(req)
 
     def sweep(
         self,

@@ -19,6 +19,16 @@ makes repeated and related queries cheap:
 Solves run off the event loop (executor thread, optionally a pooled
 worker process), so the loop stays responsive: a 10-second LP never
 blocks another client's cache hit.
+
+Overload safety (see docs/SERVER.md "Overload, deadlines, and
+recovery"): solves pass **admission control** — at most ``max_inflight``
+run concurrently, at most ``queue_limit`` more wait, and anything beyond
+that is shed immediately with a typed ``busy`` reply carrying a
+retry-after hint, so saturation degrades into fast, honest refusals
+instead of unbounded queueing.  Client ``deadline`` budgets are enforced
+in the queue and propagated to the pool's hard-kill timeout.  A shared
+:class:`~repro.resilience.BreakerRegistry` gives every request circuit
+breakers over the LP backends; their state is visible in ``stats``.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ from typing import Any, Mapping
 from repro.data.instance_json import instance_from_dict
 from repro.ebf.bounds import DelayBounds
 from repro.ebf.sweep import WarmStart, canonical_cost
+from repro.resilience.breaker import BreakerRegistry, default_registry
 from repro.resilience.report import SolveReport
 from repro.server.cache import LruCache
 from repro.server.keys import instance_key
@@ -38,12 +49,27 @@ from repro.server.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
     ProtocolError,
+    busy_reply,
     decode_line,
     encode_line,
     error_reply,
 )
 from repro.server.warm import WarmStore
 from repro.topology.serialize import topology_from_dict, topology_hash
+
+
+class ServerOverloadedError(RuntimeError):
+    """Admission control refused the request (shed with ``busy``)."""
+
+    def __init__(self, retry_after: float):
+        self.retry_after = retry_after
+        super().__init__(
+            f"server at admission capacity — retry in ~{retry_after:g}s"
+        )
+
+
+class DeadlineExpiredError(RuntimeError):
+    """The request's client-supplied deadline passed before it could run."""
 
 #: solve_lubt keywords a request may set.  keep_lp is deliberately out
 #: (payloads must stay picklable and bounded); weights/zero_edges wait
@@ -74,18 +100,53 @@ def _check_options(options: Mapping[str, Any]) -> dict[str, Any]:
     return dict(options)
 
 
-def _solve_job(topo, bounds, options, carried_pairs, topo_key):
+def _deadline_at(req: Mapping[str, Any]) -> float | None:
+    """Convert a request's ``deadline`` budget (seconds) to a monotonic
+    instant, validating it is a positive finite number."""
+    deadline = req.get("deadline")
+    if deadline is None:
+        return None
+    try:
+        seconds = float(deadline)
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            f"deadline must be a number of seconds, got {deadline!r}"
+        ) from None
+    if not (seconds > 0.0) or seconds != seconds or seconds == float("inf"):
+        raise ProtocolError(
+            f"deadline must be a positive finite number, got {deadline!r}"
+        )
+    return time.monotonic() + seconds
+
+
+def _solve_job(
+    topo, bounds, options, carried_pairs, topo_key,
+    breakers=None, solvers=None,
+):
     """One request's solve — runs inline, in an executor thread, or in a
     resident pool worker (module-level, so it pickles by reference).
 
     Returns ``(payload, pairs)``: the JSON-ready result payload and the
     warm rows (carried + newly discovered) to deposit back into the
     cross-request store.
+
+    ``breakers`` is either a live :class:`BreakerRegistry` (inline mode)
+    or the string ``"process"`` — pool workers resolve the latter to
+    their own process-wide :func:`~repro.resilience.default_registry`,
+    because a registry full of locks cannot travel over the task pipe
+    but a *resident* worker still wants cross-request breaker memory.
+    The registry's post-solve snapshot rides back on the payload under
+    ``"breakers"`` (popped by the server before caching).
     """
     from repro.ebf.solver import solve_lubt
 
+    if breakers == "process":
+        breakers = default_registry()
     ws = WarmStart.seeded(topo_key, carried_pairs)
-    sol = solve_lubt(topo, bounds, warm=ws, **options)
+    sol = solve_lubt(
+        topo, bounds, warm=ws, breakers=breakers, solvers=solvers,
+        **options,
+    )
     stats = sol.stats
     payload = {
         "cost": float(sol.cost),
@@ -116,6 +177,8 @@ def _solve_job(topo, bounds, options, carried_pairs, topo_key):
         ],
         "relaxed": sol.diagnosis is not None,
     }
+    if breakers is not None:
+        payload["breakers"] = breakers.snapshot()
     return payload, list(ws.pairs)
 
 
@@ -131,6 +194,20 @@ class SolveServer:
     ``solve_timeout`` is a hard per-request wall-clock limit (pool mode
     kills the worker; inline mode cannot interrupt a running LP and
     applies it only in pool mode).
+
+    Admission control: at most ``max_inflight`` solves run concurrently
+    (default: ``jobs``) and at most ``queue_limit`` more may wait for a
+    slot; beyond that, requests are shed instantly with a typed ``busy``
+    reply whose ``retry_after`` hint is an EWMA of recent solve times
+    scaled by queue pressure.  Cache hits bypass admission entirely —
+    an overloaded server still answers repeats from memory.
+
+    ``solver_overrides`` maps backend names to replacement callables,
+    forwarded to every solve (must be picklable in pool mode) — the
+    fault-injection seam the chaos harness uses to force server-side
+    backend failures.  ``max_line_bytes`` bounds one request line
+    (default 16 MiB); an oversized line gets a typed ``oversized``
+    error before the connection closes.
     """
 
     def __init__(
@@ -142,20 +219,52 @@ class SolveServer:
         cache_size: int = 256,
         solve_timeout: float | None = None,
         start_method: str | None = None,
+        max_inflight: int | None = None,
+        queue_limit: int = 32,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        solver_overrides: Mapping[str, Any] | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {queue_limit}")
+        if max_line_bytes < 1024:
+            raise ValueError(
+                f"max_line_bytes must be >= 1024, got {max_line_bytes}"
+            )
         self.host = host
         self.port = port  # rewritten with the bound port after start()
         self.jobs = jobs
         self.solve_timeout = solve_timeout
+        self.max_inflight = max_inflight if max_inflight is not None else jobs
+        self.queue_limit = queue_limit
+        self.max_line_bytes = max_line_bytes
+        self.solver_overrides = (
+            dict(solver_overrides) if solver_overrides else None
+        )
         self.cache = LruCache(cache_size)
         self.warm = WarmStore()
         self.pool = None
+        #: Shared circuit breakers for inline solves; pool workers keep
+        #: their own process-wide registries (see ``_solve_job``).
+        self.breakers = BreakerRegistry()
         self._start_method = start_method
         self.requests = 0
         self.solves = 0
         self.errors = 0
+        #: Requests refused by admission control (typed ``busy`` replies).
+        self.shed = 0
+        #: Requests that died in the queue on their client deadline.
+        self.deadline_expired = 0
+        #: Solves (admitted or queued) currently in the system.
+        self._load = 0
+        self._slots: asyncio.Semaphore | None = None
+        self._solve_ewma = 0.0
+        #: Last breaker snapshot reported by any solve (pool workers
+        #: merge theirs in via the result payload).
+        self._breaker_view: dict[str, dict] = {}
         self.started_at: float | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stop = asyncio.Event()
@@ -173,11 +282,12 @@ class SolveServer:
             from repro.perf.pool import WorkerPool
 
             self.pool = WorkerPool(self.jobs, start_method=self._start_method)
+        self._slots = asyncio.Semaphore(self.max_inflight)
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.host,
             self.port,
-            limit=MAX_LINE_BYTES,
+            limit=self.max_line_bytes,
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self.started_at = time.monotonic()
@@ -212,19 +322,14 @@ class SolveServer:
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (ValueError, ConnectionError):
-                    break  # oversized line or client vanished
-                if not line:
-                    break
-                if not line.strip():
-                    continue
-                self.requests += 1
-                await self._dispatch(line, writer)
-                if self._stop.is_set():
-                    break
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            # Event-loop teardown cancelled this connection (typically a
+            # client parked in readline when the server shut down).  The
+            # transport dies with the loop; completing normally keeps
+            # asyncio's stream done-callback from logging the
+            # cancellation as a crash.
+            pass
         finally:
             try:
                 writer.close()
@@ -232,11 +337,41 @@ class SolveServer:
             except (ConnectionError, OSError):
                 pass
             except asyncio.CancelledError:
-                # Loop teardown cancelled us mid-close; the transport is
-                # going away regardless, and returning normally keeps
-                # asyncio's stream done-callback from logging the
-                # cancellation as a crash.
-                pass
+                pass  # cancelled mid-close; the transport dies regardless
+
+    async def _serve_connection(self, reader, writer) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # Oversized request line: tell the client *why* the
+                # connection is about to close (stable code, so a
+                # client can distinguish this from a crash) instead
+                # of silently hanging up.
+                self.errors += 1
+                try:
+                    await self._write(writer, error_reply(
+                        None,
+                        f"request line exceeds the server's "
+                        f"{self.max_line_bytes}-byte limit",
+                        code="oversized",
+                    ))
+                except (ConnectionError, OSError):
+                    pass
+                return
+            except ConnectionError:
+                return  # client vanished
+            if not line:
+                return
+            if not line.strip():
+                continue
+            self.requests += 1
+            try:
+                await self._dispatch(line, writer)
+            except (ConnectionError, OSError):
+                return  # client vanished mid-reply; nothing to tell it
+            if self._stop.is_set():
+                return
 
     async def _dispatch(self, line: bytes, writer) -> None:
         req_id: Any = None
@@ -265,11 +400,27 @@ class SolveServer:
                 await self._op_solve(req, writer)
             else:  # op == "sweep" (decode_line rejected everything else)
                 await self._op_sweep(req, writer)
+        except ServerOverloadedError as exc:
+            self.shed += 1
+            await self._write(writer, busy_reply(req_id, exc.retry_after))
+        except DeadlineExpiredError as exc:
+            self.deadline_expired += 1
+            self.errors += 1
+            await self._write(
+                writer, error_reply(req_id, exc, code="deadline-expired")
+            )
+        except ProtocolError as exc:
+            self.errors += 1
+            await self._write(
+                writer, error_reply(req_id, exc, code="bad-request")
+            )
         except Exception as exc:  # noqa: BLE001 — protocol boundary: any
             # bad request or failed solve becomes an error reply; the
             # connection (and server) live on.
             self.errors += 1
-            await self._write(writer, error_reply(req_id, exc))
+            await self._write(
+                writer, error_reply(req_id, exc, code="solve-error")
+            )
 
     async def _write(self, writer, obj: dict[str, Any]) -> None:
         writer.write(encode_line(obj))
@@ -284,7 +435,8 @@ class SolveServer:
         topo, bounds, options = instance_from_dict(req["instance"])
         options.update(req.get("options") or {})
         options = _check_options(options)
-        reply = await self._answer(topo, bounds, options)
+        deadline_at = _deadline_at(req)
+        reply = await self._answer(topo, bounds, options, deadline_at)
         reply.update({"id": req.get("id"), "ok": True, "event": "result"})
         await self._write(writer, reply)
 
@@ -307,15 +459,32 @@ class SolveServer:
             for b in req["bounds_list"]
         ]
         req_id = req.get("id")
+        deadline_at = _deadline_at(req)
         cache_hits = warm_total = errors = 0
         for index, bounds in enumerate(bounds_list):
             try:
-                reply = await self._answer(topo, bounds, options)
+                reply = await self._answer(topo, bounds, options, deadline_at)
+            except ServerOverloadedError as exc:
+                # A sweep sheds per point: earlier answers stand, this
+                # point gets the typed busy event, the sweep goes on.
+                self.shed += 1
+                errors += 1
+                point = busy_reply(req_id, exc.retry_after)
+                point["index"] = index
+                await self._write(writer, point)
+                continue
             except Exception as exc:  # noqa: BLE001 — per-point boundary:
                 # one infeasible point must not kill the rest of a sweep.
                 errors += 1
                 self.errors += 1
-                point = error_reply(req_id, exc)
+                code = (
+                    "deadline-expired"
+                    if isinstance(exc, DeadlineExpiredError)
+                    else "solve-error"
+                )
+                if isinstance(exc, DeadlineExpiredError):
+                    self.deadline_expired += 1
+                point = error_reply(req_id, exc, code=code)
                 point["index"] = index
                 await self._write(writer, point)
                 continue
@@ -338,29 +507,77 @@ class SolveServer:
             },
         )
 
-    async def _answer(self, topo, bounds, options) -> dict[str, Any]:
+    def _cache_reply(self, key: str, cached: dict) -> dict[str, Any]:
+        self._record_report(
+            SolveReport(instance_key=key, cache_hit=True,
+                        warm_rows=cached["stats"]["warm_rows"])
+        )
+        return {
+            "instance_key": key,
+            "cache_hit": True,
+            "warm_rows": cached["stats"]["warm_rows"],
+            "result": cached,
+        }
+
+    def _retry_after_hint(self) -> float:
+        """How long a shed client should wait: the recent-solve EWMA
+        scaled by queue pressure (more waiting work, longer hint)."""
+        base = self._solve_ewma if self._solve_ewma > 0.0 else 0.25
+        excess = max(0, self._load - self.max_inflight)
+        return round(base * (1.0 + excess / max(1, self.max_inflight)), 3)
+
+    async def _answer(
+        self, topo, bounds, options, deadline_at: float | None = None
+    ) -> dict[str, Any]:
         """Solve one (topology, bounds, options) query through the cache
-        and warm store; returns the reply body (no envelope fields)."""
+        and warm store; returns the reply body (no envelope fields).
+
+        Fresh solves pass admission control: shed with
+        :class:`ServerOverloadedError` when the queue is full, wait for
+        one of ``max_inflight`` slots otherwise, and honor
+        ``deadline_at`` (monotonic) both in the queue and as a cap on
+        the pool's hard-kill timeout.  Cache hits skip all of it.
+        """
         key = instance_key(topo, bounds, options)
         cached = self.cache.get(key)
         if cached is not None:
-            self._record_report(
-                SolveReport(instance_key=key, cache_hit=True,
-                            warm_rows=cached["stats"]["warm_rows"])
-            )
-            return {
-                "instance_key": key,
-                "cache_hit": True,
-                "warm_rows": cached["stats"]["warm_rows"],
-                "result": cached,
-            }
-        tkey = topology_hash(topo)
-        carried = self.warm.pairs(tkey)
-        loop = asyncio.get_running_loop()
-        payload, pairs = await loop.run_in_executor(
-            None, self._solve_blocking, topo, bounds, options, carried, tkey
-        )
+            return self._cache_reply(key, cached)
+        if self._load >= self.max_inflight + self.queue_limit:
+            raise ServerOverloadedError(self._retry_after_hint())
+        assert self._slots is not None, "server not started"
+        self._load += 1
+        try:
+            async with self._slots:
+                remaining = None
+                if deadline_at is not None:
+                    remaining = deadline_at - time.monotonic()
+                    if remaining <= 0.0:
+                        raise DeadlineExpiredError(
+                            "deadline expired while waiting for a solve slot"
+                        )
+                # The wait may have outlived an identical in-flight
+                # request; serving its cached answer keeps repeats
+                # bit-identical and skips a redundant solve.
+                cached = self.cache.get(key)
+                if cached is not None:
+                    return self._cache_reply(key, cached)
+                tkey = topology_hash(topo)
+                carried = self.warm.pairs(tkey)
+                loop = asyncio.get_running_loop()
+                t0 = time.monotonic()
+                payload, pairs = await loop.run_in_executor(
+                    None, self._solve_blocking,
+                    topo, bounds, options, carried, tkey, remaining,
+                )
+                self._solve_ewma = (
+                    0.7 * self._solve_ewma + 0.3 * (time.monotonic() - t0)
+                    if self._solve_ewma > 0.0
+                    else time.monotonic() - t0
+                )
+        finally:
+            self._load -= 1
         self.solves += 1
+        self._merge_breakers(payload.pop("breakers", None))
         self.warm.absorb(tkey, pairs)
         self.cache.put(key, payload)
         self._record_report(
@@ -374,13 +591,26 @@ class SolveServer:
             "result": payload,
         }
 
-    def _solve_blocking(self, topo, bounds, options, carried, tkey):
+    def _merge_breakers(self, snapshot: dict | None) -> None:
+        if snapshot:
+            self._breaker_view.update(snapshot)
+
+    def _solve_blocking(
+        self, topo, bounds, options, carried, tkey, remaining=None
+    ):
         if self.pool is None:
-            return _solve_job(topo, bounds, options, carried, tkey)
+            return _solve_job(
+                topo, bounds, options, carried, tkey,
+                breakers=self.breakers, solvers=self.solver_overrides,
+            )
+        timeout = self.solve_timeout
+        if remaining is not None:
+            timeout = remaining if timeout is None else min(timeout, remaining)
         outcome = self.pool.submit(
             _solve_job,
-            (topo, bounds, options, carried, tkey),
-            timeout=self.solve_timeout,
+            (topo, bounds, options, carried, tkey,
+             "process", self.solver_overrides),
+            timeout=timeout,
         )
         if outcome.ok:
             return outcome.value
@@ -401,6 +631,8 @@ class SolveServer:
             if self.started_at is not None
             else 0.0
         )
+        breakers = dict(self._breaker_view)
+        breakers.update(self.breakers.snapshot())
         return {
             "id": req_id,
             "ok": True,
@@ -410,7 +642,16 @@ class SolveServer:
             "requests": self.requests,
             "solves": self.solves,
             "errors": self.errors,
+            "shed": self.shed,
+            "deadline_expired": self.deadline_expired,
             "jobs": self.jobs,
+            "admission": {
+                "max_inflight": self.max_inflight,
+                "queue_limit": self.queue_limit,
+                "load": self._load,
+                "retry_after_hint": self._retry_after_hint(),
+            },
+            "breakers": breakers,
             "cache": self.cache.stats(),
             "warm": self.warm.stats(),
             "pool": (
@@ -467,10 +708,25 @@ class ServerThread:
 
         asyncio.run(amain())
 
-    def stop(self) -> None:
+    def stop(self, timeout: float = 30.0) -> None:
+        """Signal shutdown and join the server thread.
+
+        Raises :class:`RuntimeError` if the thread is still alive after
+        ``timeout`` seconds — a hung server must be a loud diagnostic
+        (naming the port so the stuck process is findable), never a
+        silent return that leaks a daemon thread holding the socket.
+        """
         if self._loop is not None and self._thread.is_alive():
             self._loop.call_soon_threadsafe(self.server.request_stop)
-        self._thread.join(timeout=30)
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError(
+                f"server thread did not exit within {timeout:g}s "
+                f"(port {self.server.port}, "
+                f"{self.server._load} solve(s) in flight) — "
+                f"likely a wedged solve or executor; the daemon thread "
+                f"has been abandoned"
+            )
 
     def __enter__(self) -> "ServerThread":
         return self

@@ -23,7 +23,29 @@ Replies (``id`` echoes the request)::
     {"id": 2, "ok": true,  "event": "done", "points": 16,
      "cache_hits": 3, "warm_rows_total": 41}
     {"id": 1, "ok": false, "event": "error", "error": "...",
-     "error_type": "InfeasibleError"}
+     "error_type": "InfeasibleError", "code": "solve-error"}
+    {"id": 1, "ok": false, "event": "busy", "code": "busy",
+     "retry_after": 0.8, "error": "..."}
+
+Error replies carry a **stable machine-readable code** so clients can
+react without parsing messages:
+
+========================  ==============================================
+``busy``                  admission control shed the request; retry
+                          after ``retry_after`` seconds
+``deadline-expired``      the request's ``deadline`` passed before a
+                          solve slot opened
+``oversized``             the request line exceeded the server's line
+                          limit; the connection closes after this reply
+``bad-request``           malformed request (bad JSON, unknown op/option)
+``solve-error``           the solve itself failed (infeasible, backend
+                          failure, timeout, ...)
+========================  ==============================================
+
+Solve/sweep requests may carry ``"deadline": <seconds>`` — a client-side
+budget the server honors end to end: expired-in-queue requests fail fast
+with ``deadline-expired``, and the remaining budget caps the pool's
+hard-kill solve timeout.
 
 ``result`` carries ``cost`` (raw float, bit-exact), ``canonical_cost``
 (:func:`repro.ebf.canonical_cost`), ``edge_lengths``, ``delays``;
@@ -97,14 +119,32 @@ def decode_line(line: bytes | str) -> dict[str, Any]:
 
 
 def error_reply(
-    req_id: Any, exc: BaseException | str, *, event: str = "error"
+    req_id: Any,
+    exc: BaseException | str,
+    *,
+    event: str = "error",
+    code: str | None = None,
 ) -> dict[str, Any]:
+    reply: dict[str, Any] = {"id": req_id, "ok": False, "event": event}
+    if code is not None:
+        reply["code"] = code
     if isinstance(exc, BaseException):
-        return {
-            "id": req_id,
-            "ok": False,
-            "event": event,
-            "error": str(exc),
-            "error_type": type(exc).__name__,
-        }
-    return {"id": req_id, "ok": False, "event": event, "error": str(exc)}
+        reply["error"] = str(exc)
+        reply["error_type"] = type(exc).__name__
+    else:
+        reply["error"] = str(exc)
+    return reply
+
+
+def busy_reply(req_id: Any, retry_after: float) -> dict[str, Any]:
+    """The typed admission-control shed response (code ``busy``)."""
+    return {
+        "id": req_id,
+        "ok": False,
+        "event": "busy",
+        "code": "busy",
+        "retry_after": retry_after,
+        "error": (
+            f"server at admission capacity — retry in ~{retry_after:g}s"
+        ),
+    }

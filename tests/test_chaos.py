@@ -1,0 +1,49 @@
+"""Chaos soak harness: a short bounded run must hold every invariant."""
+
+from repro.resilience import ChaosConfig, run_chaos
+
+
+class TestChaosSoak:
+    def test_bounded_soak_passes(self):
+        report = run_chaos(
+            ChaosConfig(
+                seed=1234,
+                duration=8.0,
+                clients=2,
+                jobs=2,
+                sinks=6,
+                points=2,
+                max_inflight=1,
+                queue_limit=1,
+            )
+        )
+        assert report.ok, report.summary()
+        # The soak actually exercised the interesting paths, not just
+        # cache hits: real solves, typed sheds, protocol abuse answered.
+        assert report.solves_checked > 0
+        assert report.server_stats["solves"] > 0
+        assert report.server_stats["shed"] == report.busy_observed
+        assert report.actions.get("malformed", 0) > 0
+        assert report.actions.get("oversized", 0) > 0
+        assert report.actions.get("disconnect", 0) > 0
+        # Fault injection opened the primary backend's breaker in at
+        # least one worker (visible through server stats).
+        breakers = report.server_stats["breakers"]
+        assert breakers.get("simplex", {}).get("opens", 0) >= 1
+        assert "PASS" in report.summary()
+
+    def test_inline_mode_without_kills(self):
+        report = run_chaos(
+            ChaosConfig(
+                seed=7,
+                duration=4.0,
+                clients=2,
+                jobs=1,
+                sinks=6,
+                points=2,
+                kill_workers=False,
+                fault_count=0,
+            )
+        )
+        assert report.ok, report.summary()
+        assert report.solves_checked > 0

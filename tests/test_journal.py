@@ -1,0 +1,208 @@
+"""Crash-safe solve journal: load semantics, resume counters, and the
+kill-resume equivalence guarantee (SIGKILL mid-batch, resume, identical
+output)."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import load_benchmark
+from repro.ebf import DelayBounds
+from repro.experiments import render_table3, run_table3
+from repro.geometry import manhattan_radius_from
+from repro.perf import (
+    JournalError,
+    SolveJournal,
+    SolveTask,
+    solution_from_record,
+    solution_to_record,
+    solve_many,
+    solve_sweep_sharded,
+)
+from repro.topology import nearest_neighbor_topology
+
+
+def tasks_for(size=8, windows=((0.8, 1.3), (0.9, 1.2), (0.85, 1.25))):
+    bench = load_benchmark("prim1").scaled(size)
+    sinks = list(bench.sinks)
+    topo = nearest_neighbor_topology(sinks, bench.source)
+    radius = manhattan_radius_from(bench.source, sinks)
+    return [
+        SolveTask(topo, DelayBounds.uniform(size, lo * radius, hi * radius))
+        for lo, hi in windows
+    ]
+
+
+class TestRecordRoundTrip:
+    def test_solution_survives_the_record(self):
+        task = tasks_for()[0]
+        out = solve_many([task])[0]
+        sol = out.unwrap()
+        rec = solution_to_record(sol)
+        back = solution_from_record(rec, task.topo, task.bounds)
+        assert back.cost == sol.cost
+        assert list(back.edge_lengths) == list(sol.edge_lengths)
+        assert list(back.delays) == list(sol.delays)
+        assert back.stats.backend == sol.stats.backend
+        assert back.stats.rounds == sol.stats.rounds
+
+    def test_record_is_strict_json(self):
+        task = tasks_for()[0]
+        sol = solve_many([task])[0].unwrap()
+        text = json.dumps(solution_to_record(sol), allow_nan=False)
+        assert json.loads(text)
+
+
+class TestJournalFile:
+    def test_append_then_load(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SolveJournal(path) as j:
+            j.append("a" * 64, {"cost": 1.0})
+            j.append("b" * 64, {"cost": 2.0})
+        j2 = SolveJournal(path)
+        done = j2.load()
+        assert set(done) == {"a" * 64, "b" * 64}
+        assert done["b" * 64]["cost"] == 2.0
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SolveJournal(path) as j:
+            j.append("a" * 64, {"cost": 1.0})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"v":1,"key":"' + "b" * 64 + '","resu')  # torn write
+        done = SolveJournal(path).load()
+        assert set(done) == {"a" * 64}  # the torn tail is dropped
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            "not json at all\n"
+            + json.dumps({"v": 1, "key": "a" * 64, "result": {}})
+            + "\n"
+        )
+        with pytest.raises(JournalError):
+            SolveJournal(path).load()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        j = SolveJournal(tmp_path / "absent.jsonl")
+        assert j.load() == {}
+
+
+class TestSolveManyResume:
+    def test_second_run_replays_everything(self, tmp_path):
+        tasks = tasks_for()
+        path = tmp_path / "j.jsonl"
+        with SolveJournal(path) as j:
+            first = solve_many(tasks, journal=j)
+            assert j.appended == len(tasks) and j.replayed == 0
+        with SolveJournal(path) as j:
+            second = solve_many(tasks, journal=j)
+            assert j.replayed == len(tasks) and j.appended == 0
+        for a, b in zip(first, second):
+            sa, sb = a.unwrap(), b.unwrap()
+            assert sa.cost == sb.cost
+            assert list(sa.edge_lengths) == list(sb.edge_lengths)
+            assert list(sa.delays) == list(sb.delays)
+
+    def test_partial_journal_only_solves_the_rest(self, tmp_path):
+        tasks = tasks_for()
+        path = tmp_path / "j.jsonl"
+        with SolveJournal(path) as j:
+            solve_many(tasks[:1], journal=j)
+        with SolveJournal(path) as j:
+            outs = solve_many(tasks, journal=j)
+            assert j.replayed == 1 and j.appended == len(tasks) - 1
+        baseline = solve_many(tasks)
+        for a, b in zip(outs, baseline):
+            assert a.unwrap().cost == b.unwrap().cost
+
+    def test_sweep_sharded_resume_matches_cold(self, tmp_path):
+        task = tasks_for()[0]
+        radius = max(task.bounds.upper)
+        bounds_list = [
+            DelayBounds.uniform(
+                len(task.bounds.lower), f * radius / 1.3, radius
+            )
+            for f in (0.80, 0.85, 0.90, 0.95)
+        ]
+        cold = solve_sweep_sharded(task.topo, bounds_list, warm=False)
+        path = tmp_path / "sweep.jsonl"
+        with SolveJournal(path) as j:
+            solve_sweep_sharded(
+                task.topo, bounds_list[:2], warm=False, journal=j
+            )
+        with SolveJournal(path) as j:
+            resumed = solve_sweep_sharded(
+                task.topo, bounds_list, warm=False, journal=j
+            )
+            assert j.replayed == 2 and j.appended == 2
+        from repro.ebf import canonical_cost
+
+        assert [canonical_cost(s.cost) for s in resumed] == [
+            canonical_cost(s.cost) for s in cold
+        ]
+
+
+KILL_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    sys.path.insert(0, {src!r})
+    from repro.data import load_benchmark
+    from repro.experiments import run_table3
+    from repro.perf import SolveJournal
+    import repro.perf.journal as journal_mod
+
+    # After N appends, die the hard way mid-batch (no atexit, no flush
+    # of anything beyond what append() already fsynced).
+    N = int(sys.argv[2])
+    bench = load_benchmark("r1").scaled(16)
+    with SolveJournal(sys.argv[1]) as j:
+        original = j.append
+        def append_then_maybe_die(key, result):
+            original(key, result)
+            if j.appended >= N:
+                import os, signal
+                os.kill(os.getpid(), signal.SIGKILL)
+        j.append = append_then_maybe_die
+        run_table3(bench, jobs=1, journal=j)
+    """
+)
+
+
+class TestKillResumeEquivalence:
+    """The ISSUE acceptance criterion: SIGKILL a journaled run mid-batch,
+    resume it, and get byte-identical tables with no completed solve
+    re-run."""
+
+    def test_sigkill_then_resume_is_byte_identical(self, tmp_path):
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        path = tmp_path / "kill.jsonl"
+        script = KILL_SCRIPT.format(src=src)
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(path), "3"],
+            capture_output=True,
+            timeout=600,
+        )
+        assert proc.returncode == -signal.SIGKILL
+        # The journal survived the kill with exactly the fsynced records.
+        survivors = SolveJournal(path).load()
+        assert len(survivors) == 3
+
+        bench = load_benchmark("r1").scaled(16)
+        with SolveJournal(path) as j:
+            rows = run_table3(bench, jobs=1, journal=j)
+            # No completed solve was re-run...
+            assert j.replayed == 3
+        # ...and the rendered table is byte-identical to an uninterrupted
+        # run.
+        assert render_table3(rows) == render_table3(
+            run_table3(bench, jobs=1)
+        )

@@ -11,6 +11,7 @@ from repro.ebf import DelayBounds
 from repro.experiments import render_table3, run_table3
 from repro.geometry import manhattan_radius_from
 from repro.perf import (
+    PoolCrashLoopError,
     SolveTask,
     TaskError,
     WorkerPool,
@@ -221,3 +222,63 @@ class TestExperimentJobs:
             _square, [(i,) for i in range(3)], jobs=2, start_method="spawn"
         )
         assert [o.unwrap() for o in outs] == [0, 1, 4]
+
+
+class TestCrashLoopCap:
+    """A worker crash loop must become a typed error, not an unbounded
+    fork storm — while isolated crashes keep being absorbed."""
+
+    def test_consecutive_crashes_hit_the_cap(self):
+        with WorkerPool(jobs=1, max_consecutive_crashes=3) as pool:
+            for _ in range(2):
+                out = pool.submit(_die_without_payload, (9,))
+                assert out.crashed
+            with pytest.raises(PoolCrashLoopError) as err:
+                pool.submit(_die_without_payload, (9,))
+            assert "3 times in a row" in str(err.value)
+            assert "_die_without_payload" in str(err.value)
+            # The seat was refilled before raising: the pool survives.
+            assert pool.submit(_square, (5,)).unwrap() == 25
+            assert pool.workers_replaced == 3
+
+    def test_successes_reset_the_crash_streak(self):
+        with WorkerPool(jobs=1, max_consecutive_crashes=2) as pool:
+            for _ in range(3):
+                assert pool.submit(_die_without_payload, (9,)).crashed
+                assert pool.submit(_square, (2,)).unwrap() == 4
+        assert pool.workers_replaced == 3  # never two in a row -> no raise
+
+    def test_timeouts_do_not_count_toward_the_cap(self):
+        with WorkerPool(jobs=1, max_consecutive_crashes=2) as pool:
+            assert pool.submit(_die_without_payload, (9,)).crashed
+            assert pool.submit(_sleep_forever, (0,), timeout=0.3).timed_out
+            # A timeout broke the crash streak: one more crash is fine.
+            assert pool.submit(_die_without_payload, (9,)).crashed
+            assert pool.submit(_square, (3,)).unwrap() == 9
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(jobs=1, max_consecutive_crashes=0)
+
+
+class TestWorkerProcesses:
+    def test_lists_live_workers_busy_or_idle(self):
+        with WorkerPool(jobs=2) as pool:
+            procs = pool.worker_processes()
+            assert len(procs) == 2
+            assert all(p.is_alive() for p in procs)
+            pids = {p.pid for p in procs}
+            assert pool.submit(_pid).unwrap() in pids
+        assert pool.worker_processes() == []  # close() emptied the set
+
+    def test_killed_worker_is_replaced_in_the_listing(self):
+        with WorkerPool(jobs=1) as pool:
+            (victim,) = pool.worker_processes()
+            victim.kill()
+            out = pool.submit(_square, (4,))
+            # The kill may land before or while the task runs; either
+            # way the pool recovers and the listing shows a live seat.
+            assert out.unwrap() == 16 if out.ok else out.crashed
+            (survivor,) = pool.worker_processes()
+            assert survivor.is_alive()
+            assert pool.submit(_square, (6,)).unwrap() == 36

@@ -13,6 +13,10 @@ The service contract under test:
 
 import json
 import math
+import random
+import socket
+import threading
+import time
 
 import numpy as np
 import pytest
@@ -32,6 +36,7 @@ from repro.server import (
     ServerClient,
     ServerError,
     ServerThread,
+    SolveServer,
     WarmStore,
     decode_line,
     encode_line,
@@ -377,3 +382,401 @@ class TestServeCli:
             assert rc == 0
             out = capsys.readouterr().out
             assert "served from cache |               yes" in out
+
+
+def slow_simplex(delay=0.8):
+    """A backend that stalls before delegating — deterministic overload."""
+    from repro.lp.simplex import solve_simplex
+    from repro.resilience.faults import FaultyBackend, TimeoutFault
+
+    return FaultyBackend(
+        solve_simplex, [TimeoutFault(delay)] * 64, name="simplex"
+    )
+
+
+class TestOverloadSafety:
+    """Admission control, deadlines, and typed protocol errors."""
+
+    def test_oversized_line_gets_typed_error_then_close(self):
+        with ServerThread(jobs=1, max_line_bytes=2048) as handle:
+            with ServerClient(port=handle.port) as c:
+                c._sock.sendall(
+                    b'{"op":"ping","pad":"' + b"x" * 4096 + b'"}\n'
+                )
+                reply = c._recv()
+                assert reply["ok"] is False
+                assert reply["code"] == "oversized"
+                assert "2048" in reply["error"]
+                # The connection closes after the typed reply.
+                with pytest.raises(ConnectionError):
+                    c.ping()
+            assert handle.server.errors >= 1
+
+    def test_overload_sheds_typed_busy_and_admitted_work_completes(self):
+        topo, bounds, radius = instance(6)
+        other = DelayBounds.uniform(6, 0.7 * radius, 1.4 * radius)
+        expected = canonical_cost(solve_lubt(topo, bounds).cost)
+        with ServerThread(
+            jobs=1,
+            max_inflight=1,
+            queue_limit=0,
+            solver_overrides={"simplex": slow_simplex(1.2)},
+        ) as handle:
+            results: dict = {}
+
+            def admitted():
+                with ServerClient(port=handle.port, timeout=120.0) as c:
+                    results["reply"] = c.solve(
+                        topo, bounds, resilient=True
+                    )
+
+            t = threading.Thread(target=admitted)
+            t.start()
+            time.sleep(0.3)  # the admitted solve is now stalling inline
+            with ServerClient(port=handle.port, busy_retries=0) as c:
+                from repro.server import ServerBusyError
+
+                with pytest.raises(ServerBusyError) as err:
+                    c.solve(topo, other, resilient=True)
+                assert err.value.code == "busy"
+                assert err.value.retry_after >= 0.0
+            t.join(timeout=120)
+            assert not t.is_alive()
+            # The admitted request finished correctly despite the storm.
+            got = results["reply"]["result"]["canonical_cost"]
+            assert got == expected
+            assert handle.server.shed == 1
+
+    def test_cache_hit_bypasses_admission(self):
+        topo, bounds, radius = instance(6)
+        other = DelayBounds.uniform(6, 0.7 * radius, 1.4 * radius)
+        with ServerThread(
+            jobs=1,
+            max_inflight=1,
+            queue_limit=0,
+            solver_overrides={"simplex": slow_simplex(1.2)},
+        ) as handle:
+            with ServerClient(port=handle.port, timeout=120.0) as warmup:
+                first = warmup.solve(topo, bounds)
+
+            def occupant():
+                with ServerClient(port=handle.port, timeout=120.0) as c:
+                    c.solve(topo, other, resilient=True)
+
+            t = threading.Thread(target=occupant)
+            t.start()
+            time.sleep(0.3)
+            # The only slot is taken and the queue is zero — but a repeat
+            # of the cached instance still answers, bit-identically.
+            with ServerClient(port=handle.port, busy_retries=0) as c:
+                reply = c.solve(topo, bounds)
+                assert reply["cache_hit"] is True
+                assert reply["result"] == first["result"]
+            t.join(timeout=120)
+            assert not t.is_alive()
+
+    def test_expired_deadline_fails_fast_with_typed_code(self):
+        topo, bounds, _ = instance(6)
+        with ServerThread(jobs=1) as handle:
+            with ServerClient(port=handle.port) as c:
+                with pytest.raises(ServerError) as err:
+                    c.solve(topo, bounds, deadline=1e-9)
+                assert err.value.code == "deadline-expired"
+            assert handle.server.deadline_expired == 1
+
+    def test_bad_deadline_is_a_protocol_error(self):
+        from repro.data import instance_to_dict
+
+        topo, bounds, _ = instance(6)
+        with ServerThread(jobs=1) as handle:
+            with ServerClient(port=handle.port) as c:
+                for bad in (-1.0, 0.0, "soon"):
+                    # Raw request: the client's own float() coercion
+                    # would reject the string before it hits the wire.
+                    with pytest.raises(ServerError) as err:
+                        c.request({
+                            "op": "solve",
+                            "instance": instance_to_dict(topo, bounds),
+                            "deadline": bad,
+                        })
+                    assert err.value.code == "bad-request"
+
+    def test_stats_expose_admission_and_shed_counters(self, server):
+        with ServerClient(port=server.port) as c:
+            stats = c.stats()
+            assert stats["shed"] == server.server.shed
+            assert stats["deadline_expired"] >= 0
+            adm = stats["admission"]
+            assert adm["max_inflight"] == server.server.max_inflight
+            assert adm["queue_limit"] == server.server.queue_limit
+            assert adm["load"] >= 0
+            assert adm["retry_after_hint"] > 0.0
+
+
+class TestBreakerVisibility:
+    def test_forced_backend_failure_opens_breaker_in_stats(self):
+        from repro.lp.simplex import solve_simplex
+        from repro.resilience.faults import ExceptionFault, FaultyBackend
+
+        topo, bounds, radius = instance(6)
+        other = DelayBounds.uniform(6, 0.7 * radius, 1.4 * radius)
+        overrides = {
+            "simplex": FaultyBackend(
+                solve_simplex, [ExceptionFault()] * 64, name="simplex"
+            )
+        }
+        with ServerThread(jobs=1, solver_overrides=overrides) as handle:
+            with ServerClient(port=handle.port, timeout=120.0) as c:
+                r1 = c.solve(topo, bounds, resilient=True)
+                r2 = c.solve(topo, other, resilient=True)
+                stats = c.stats()
+            # Answers stayed correct via the fallback backend...
+            assert r1["result"]["cost"] > 0 and r2["result"]["cost"] > 0
+            # ...and the dead backend's breaker opened, visibly.
+            breaker = stats["breakers"]["simplex"]
+            assert breaker["state"] == "open"
+            assert breaker["opens"] >= 1
+            # Once open, later solves skip simplex outright.
+            attempts = r2["result"]["attempts"]
+            assert any(a["outcome"] == "skipped" and a["backend"] == "simplex"
+                       for a in attempts)
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+        self.sleeps = []
+
+    def __call__(self):
+        return self.t
+
+    def sleep(self, dt):
+        self.sleeps.append(dt)
+        self.t += dt
+
+
+class TestClientRetry:
+    """Backoff-and-jitter retry loops, deterministic via fake clock."""
+
+    def test_connect_retries_then_raises(self):
+        clock = FakeClock()
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        dead_port = sock.getsockname()[1]
+        sock.close()  # nothing listens here now
+        with pytest.raises(OSError):
+            ServerClient(
+                port=dead_port,
+                connect_retries=3,
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        assert len(clock.sleeps) == 3
+        # Exponential envelope: every delay is in [0.5, 1.0] x base*2^k.
+        for k, delay in enumerate(clock.sleeps):
+            base = 0.2 * (2.0 ** k)
+            assert 0.5 * base <= delay <= base
+
+    def test_retry_deadline_caps_connect_retries(self):
+        clock = FakeClock()
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        dead_port = sock.getsockname()[1]
+        sock.close()
+        with pytest.raises(OSError):
+            ServerClient(
+                port=dead_port,
+                connect_retries=50,
+                retry_deadline=0.5,
+                sleep=clock.sleep,
+                clock=clock,
+            )
+        assert clock.t <= 0.5  # gave up once the budget ran out
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = ServerClient.__new__(ServerClient)
+        b = ServerClient.__new__(ServerClient)
+        for obj in (a, b):
+            obj._backoff, obj._backoff_cap = 0.2, 5.0
+            obj._rng = random.Random(42)
+        assert [a._backoff_delay(k) for k in range(5)] == [
+            b._backoff_delay(k) for k in range(5)
+        ]
+
+    def test_busy_replies_are_retried_then_succeed(self):
+        from repro.server import busy_reply, encode_line
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        served = {"requests": 0}
+
+        def stub():
+            conn, _ = listener.accept()
+            with conn, conn.makefile("rb") as f:
+                while True:
+                    line = f.readline()
+                    if not line:
+                        return
+                    req = json.loads(line)
+                    served["requests"] += 1
+                    if served["requests"] <= 2:
+                        reply = busy_reply(req.get("id"), 0.05)
+                    else:
+                        reply = {"id": req.get("id"), "ok": True,
+                                 "event": "pong"}
+                    conn.sendall(encode_line(reply))
+
+        t = threading.Thread(target=stub, daemon=True)
+        t.start()
+        clock = FakeClock()
+        try:
+            client = ServerClient(
+                port=port, busy_retries=4, sleep=clock.sleep, clock=clock
+            )
+            reply = client.ping()
+            client.close()
+            assert reply["event"] == "pong"
+            assert served["requests"] == 3
+            assert len(clock.sleeps) == 2
+            assert all(d >= 0.05 for d in clock.sleeps)  # >= retry_after
+        finally:
+            listener.close()
+            t.join(timeout=10)
+
+    def test_busy_retries_exhausted_raises_typed_error(self):
+        from repro.server import ServerBusyError, busy_reply, encode_line
+
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+
+        def stub():
+            conn, _ = listener.accept()
+            with conn, conn.makefile("rb") as f:
+                while True:
+                    line = f.readline()
+                    if not line:
+                        return
+                    req = json.loads(line)
+                    conn.sendall(
+                        encode_line(busy_reply(req.get("id"), 0.7))
+                    )
+
+        t = threading.Thread(target=stub, daemon=True)
+        t.start()
+        clock = FakeClock()
+        try:
+            client = ServerClient(
+                port=port, busy_retries=2, sleep=clock.sleep, clock=clock
+            )
+            with pytest.raises(ServerBusyError) as err:
+                client.ping()
+            client.close()
+            assert err.value.retry_after == 0.7
+            assert len(clock.sleeps) == 2  # retried exactly busy_retries
+        finally:
+            listener.close()
+            t.join(timeout=10)
+
+
+class TestServerThreadStop:
+    def test_clean_stop_does_not_raise(self):
+        handle = ServerThread(jobs=1)
+        handle.stop()
+        assert not handle._thread.is_alive()
+        handle.stop()  # idempotent
+
+    def test_wedged_thread_raises_diagnostic(self):
+        class WedgedThread:
+            def join(self, timeout=None):
+                pass
+
+            def is_alive(self):
+                return True
+
+        handle = ServerThread.__new__(ServerThread)
+        handle.server = SolveServer(port=9999)
+        handle.server.port = 9999
+        handle._loop = None
+        handle._thread = WedgedThread()
+        with pytest.raises(RuntimeError, match="did not exit"):
+            handle.stop(timeout=0.05)
+        # The diagnostic names the port so the stuck server is findable.
+        with pytest.raises(RuntimeError, match="9999"):
+            handle.stop(timeout=0.05)
+
+
+class TestConcurrencySoak:
+    """Multi-client soak: cache hits stay bit-identical under
+    interleaved writers, and warm rows never cross topology hashes."""
+
+    def test_cache_and_warm_store_under_concurrent_clients(self):
+        topo_a, bounds_a, radius_a = instance(6)
+        # A second, structurally different topology in the same mix.
+        bench = load_benchmark("prim2").scaled(7)
+        sinks_b = list(bench.sinks)
+        topo_b = nearest_neighbor_topology(sinks_b, bench.source)
+        radius_b = manhattan_radius_from(bench.source, sinks_b)
+        family = [
+            (topo_a, bounds_a),
+            (topo_a, DelayBounds.uniform(6, 0.7 * radius_a, 1.4 * radius_a)),
+            (topo_b, DelayBounds.uniform(7, 0.8 * radius_b, 1.3 * radius_b)),
+        ]
+        seen: dict = {}
+        lock = threading.Lock()
+        failures: list = []
+
+        with ServerThread(jobs=1, max_inflight=2, queue_limit=64) as handle:
+            def worker(wid):
+                rng = np.random.default_rng(wid)
+                try:
+                    with ServerClient(port=handle.port, timeout=120.0) as c:
+                        for _ in range(12):
+                            t, b = family[rng.integers(len(family))]
+                            reply = c.solve(t, b)
+                            key = reply["instance_key"]
+                            fingerprint = (
+                                reply["result"]["cost"],
+                                tuple(reply["result"]["edge_lengths"]),
+                                tuple(reply["result"]["delays"]),
+                            )
+                            with lock:
+                                if key in seen:
+                                    if seen[key] != fingerprint:
+                                        failures.append(
+                                            f"key {key[:12]} answered "
+                                            f"differently across clients"
+                                        )
+                                else:
+                                    seen[key] = fingerprint
+                except Exception as exc:  # noqa: BLE001 — surfaced below
+                    failures.append(f"client {wid}: {exc}")
+
+            threads = [
+                threading.Thread(target=worker, args=(wid,))
+                for wid in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+                assert not t.is_alive()
+            assert not failures, failures
+
+            # Warm rows stayed within their own topology hash: every
+            # stored pair must be a valid internal-node pair of exactly
+            # the topology whose hash keys it.
+            store = handle.server.warm
+            hash_a, hash_b = topology_hash(topo_a), topology_hash(topo_b)
+            assert set(store._rows) <= {hash_a, hash_b}
+            for tkey, topo in ((hash_a, topo_a), (hash_b, topo_b)):
+                n = topo.num_nodes
+                for i, j, k in store.pairs(tkey):
+                    assert 0 <= i < n and 0 <= j < n
+            # The cache never exceeded capacity and repeats hit.
+            cache_stats = handle.server.cache.stats()
+            assert cache_stats["size"] <= cache_stats["capacity"]
+            assert cache_stats["hits"] > 0
