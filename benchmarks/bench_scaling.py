@@ -7,20 +7,26 @@ constraints used, rounds, and wall time, and benchmarks a mid-size solve.
 """
 
 import json
+import time
 from pathlib import Path
 
 import pytest
 from conftest import full_run, load_scaled, save_output
 
 from repro.analysis import Table
-from repro.data import load_benchmark
-from repro.ebf import DelayBounds
+from repro.data import load_benchmark, synth_instance
+from repro.ebf import DelayBounds, solve_lubt
+from repro.ebf.sweep import canonical_cost
 from repro.embedding import solve_and_embed
 from repro.geometry import manhattan_radius_from
 from repro.topology import nearest_neighbor_topology
 
 SIZES_QUICK = (16, 32, 64, 128)
 SIZES_FULL = (16, 32, 64, 128, 256, 603)
+
+#: Tree-backend tier: synthetic sink counts beyond the paper's suites.
+TREE_SIZES_QUICK = (1024,)
+TREE_SIZES_FULL = (1024, 4096)
 
 #: Committed reference timings, consumed by ``benchmarks/perf_smoke.py``.
 BASELINE_PATH = Path(__file__).parent.parent / "BENCH_scaling.json"
@@ -29,6 +35,17 @@ BASELINE_PATH = Path(__file__).parent.parent / "BENCH_scaling.json"
 #: vectorized-row-builder engine (commit b4921d5), best of 3.  Kept so the
 #: speedup the engine bought stays measurable against any later run.
 PRE_ENGINE_SECONDS = {16: 0.0116, 32: 0.1057, 64: 0.1139, 128: 0.9212}
+
+
+def _update_baseline(**updates):
+    """Merge ``updates`` into BENCH_scaling.json (the generic-scaling and
+    tree-tier tests each own different keys of the same file)."""
+    data = {}
+    if BASELINE_PATH.exists():
+        data = json.loads(BASELINE_PATH.read_text())
+    data.update(updates)
+    BASELINE_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
 
 
 def _solve_at(size):
@@ -94,10 +111,64 @@ def test_scaling_table(benchmark):
     if 128 in by_size and by_size[128] > 0:
         data["speedup_at_128"] = PRE_ENGINE_SECONDS[128] / by_size[128]
     save_output("scaling.txt", t.render(), data=data)
-    BASELINE_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    _update_baseline(**data)
 
     # The fraction of Steiner rows needed must SHRINK as nets grow —
     # the whole point of the Section 4.6 reduction.
     assert fractions[-1] < fractions[0]
 
     benchmark(_solve_at, sizes[2])
+
+
+def _timed_solve(topo, bounds, backend):
+    t0 = time.perf_counter()
+    sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
+    return sol, time.perf_counter() - t0
+
+
+def test_tree_tier():
+    """Tree-backend tier (1k/4k sinks): record the tree-vs-generic wall
+    times in BENCH_scaling.json and gate a >= 10x speedup at 1k sinks."""
+    sizes = TREE_SIZES_FULL if full_run() else TREE_SIZES_QUICK
+    t = Table(
+        ["sinks", "tree s", "generic s", "speedup", "dual iters", "backend"],
+        title="tree backend vs best generic (synth uniform, window [0.8, 1.2])",
+    )
+    records = []
+    for size in sizes:
+        topo, bounds = synth_instance(size, 1996)
+        tree_sol, tree_s = _timed_solve(topo, bounds, "tree")
+        # "auto" resolves to the best generic backend for the size.
+        gen_sol, gen_s = _timed_solve(topo, bounds, "auto")
+        assert canonical_cost(tree_sol.cost) == canonical_cost(gen_sol.cost)
+        speedup = gen_s / tree_s
+        t.add_row(
+            size,
+            f"{tree_s:.3f}",
+            f"{gen_s:.3f}",
+            f"{speedup:.1f}x",
+            tree_sol.stats.dual_iterations,
+            gen_sol.stats.backend,
+        )
+        records.append(
+            {
+                "sinks": size,
+                "tree_seconds": tree_s,
+                "generic_seconds": gen_s,
+                "generic_backend": gen_sol.stats.backend,
+                "speedup": speedup,
+                "dual_iterations": tree_sol.stats.dual_iterations,
+                "dp_passes": tree_sol.stats.dp_passes,
+                "cost": tree_sol.cost,
+            }
+        )
+    data = _update_baseline(
+        tree_tier={
+            "protocol": "synth uniform sinks (seed 1996), window "
+            "[0.8, 1.2] x radius, tree vs auto",
+            "sizes": records,
+        }
+    )
+    save_output("scaling_tree.txt", t.render(), data=data["tree_tier"])
+    # The headline claim: >= 10x over the best generic backend at 1k.
+    assert records[0]["speedup"] >= 10.0, records

@@ -17,7 +17,14 @@ Two sweep-engine gates ride along (see docs/PERFORMANCE.md):
   written to ``BENCH_sweep.json`` at the repo root.
 * **racing equivalence** — ``race="auto"`` must return the same
   canonical cost as the sequential solve and record every backend,
-  cancelled losers included.
+  cancelled losers included (the tree backend races too and must show
+  up in the attempt log).
+
+A tree-backend gate rides along as well: at ``--tree-sinks`` (default
+1024) the structure-aware ``backend="tree"`` solve must beat the best
+generic backend by ``--tree-factor`` (default 2x — deliberately far
+below the >= 10x recorded in ``BENCH_scaling.json``'s ``tree_tier``, to
+absorb CI-runner noise) with canonically identical cost.
 
 No pytest / pytest-benchmark needed — plain stdlib + repro, so the CI
 job installs numpy and scipy only:
@@ -208,7 +215,8 @@ def check_sweep(
 
 def check_race() -> list[str]:
     """Racing equivalence: ``race="auto"`` must return the sequential
-    answer (canonically) and record both backends per LP."""
+    answer (canonically) and record every chain backend per LP — the
+    tree backend included."""
     failures = []
     topo, _, bounds_list = _sweep_instance(32)
     bounds = bounds_list[0]
@@ -228,6 +236,12 @@ def check_race() -> list[str]:
                 + ", ".join(a.backend for a in rep.attempts)
             )
             break
+    if raced.solve_reports and not any(
+        a.backend == "tree"
+        for rep in raced.solve_reports
+        for a in rep.attempts
+    ):
+        failures.append("tree backend never appeared in race attempts")
     cancelled = sum(
         1
         for rep in raced.solve_reports
@@ -238,6 +252,43 @@ def check_race() -> list[str]:
         f"racing equivalence: {len(raced.solve_reports)} LP(s), "
         f"{cancelled} cancelled loser(s), costs "
         + ("match" if not failures else "DIFFER")
+    )
+    return failures
+
+
+def check_tree(sinks: int, factor: float) -> list[str]:
+    """Tree-backend gate: at ``sinks`` the structure-aware solve must
+    beat the best generic backend by ``factor`` with a canonically
+    identical cost."""
+    from repro.data import synth_instance
+
+    failures = []
+    topo, bounds = synth_instance(sinks, 1996)
+
+    def _timed(backend):
+        t0 = time.perf_counter()
+        sol = solve_lubt(topo, bounds, backend=backend, check_bounds=False)
+        return sol, time.perf_counter() - t0
+
+    tree_sol, tree_seconds = _timed("tree")
+    gen_sol, gen_seconds = _timed("auto")
+    speedup = gen_seconds / tree_seconds if tree_seconds > 0 else float("inf")
+    if canonical_cost(tree_sol.cost) != canonical_cost(gen_sol.cost):
+        failures.append(
+            f"tree cost {tree_sol.cost!r} != generic {gen_sol.cost!r} "
+            f"(canonical) at {sinks} sinks"
+        )
+    if speedup < factor:
+        failures.append(
+            f"tree speedup {speedup:.2f}x < required {factor:g}x at "
+            f"{sinks} sinks (tree {tree_seconds:.3f}s, "
+            f"{gen_sol.stats.backend} {gen_seconds:.3f}s)"
+        )
+    print(
+        f"tree backend ({sinks} sinks): tree {tree_seconds:.3f}s vs "
+        f"{gen_sol.stats.backend} {gen_seconds:.3f}s = {speedup:.1f}x, "
+        f"{tree_sol.stats.dual_iterations} dual iterations, costs "
+        + ("match" if not failures else "DIFFER/SLOW")
     )
     return failures
 
@@ -262,6 +313,14 @@ def main(argv=None) -> int:
                     help="where to write fresh sweep timings")
     ap.add_argument("--skip-sweep", action="store_true",
                     help="skip the warm-vs-cold sweep and racing gates")
+    ap.add_argument("--tree-sinks", type=int, default=1024,
+                    help="sink count for the tree-backend gate "
+                    "(default 1024)")
+    ap.add_argument("--tree-factor", type=float, default=2.0,
+                    help="tree backend must beat the best generic backend "
+                    "by this factor (default 2.0)")
+    ap.add_argument("--skip-tree", action="store_true",
+                    help="skip the tree-backend speedup gate")
     args = ap.parse_args(argv)
     sizes = [int(s) for s in args.sizes.split(",")]
 
@@ -270,6 +329,8 @@ def main(argv=None) -> int:
     if not args.skip_sweep:
         failures += check_sweep(args.sweep_factor, args.repeats, args.sweep_out)
         failures += check_race()
+    if not args.skip_tree:
+        failures += check_tree(args.tree_sinks, args.tree_factor)
 
     if failures:
         print("\nperf smoke FAILED:", file=sys.stderr)

@@ -102,7 +102,12 @@ class CheckResult:
         }
 
     def summary(self, max_lines: int | None = None) -> str:
-        """Human-readable report, most severe findings first."""
+        """Human-readable report, most severe findings first.
+
+        INFO findings are purely advisory (Severity docstring), so a
+        result with only infos still reports "clean" — with the
+        advisory notes listed underneath.
+        """
         if not self.diagnostics:
             return "check: clean (no findings)"
         ordered = sorted(
@@ -114,10 +119,13 @@ class CheckResult:
         if max_lines is not None and len(ordered) > max_lines:
             lines.append(f"... and {len(ordered) - max_lines} more")
         c = self.counts()
-        lines.append(
-            f"check: {c['error']} error(s), {c['warning']} warning(s), "
-            f"{c['info']} info"
-        )
+        if not self.errors and not self.warnings:
+            lines.append(f"check: clean ({c['info']} advisory note(s))")
+        else:
+            lines.append(
+                f"check: {c['error']} error(s), {c['warning']} warning(s), "
+                f"{c['info']} info"
+            )
         return "\n".join(lines)
 
     def to_json_dict(self) -> dict[str, Any]:

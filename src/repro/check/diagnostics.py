@@ -97,6 +97,20 @@ CODES: dict[str, tuple[Severity, str, str]] = {
         "a >= row is implied by another row with the same coefficients "
         "and a larger rhs; keep only the binding row",
     ),
+    "LP013": (
+        Severity.INFO,
+        "tree-structured-model",
+        "the model carries tree metadata covering every row, so the "
+        "structure-aware backend=\"tree\" collapsed solve applies; "
+        "purely advisory",
+    ),
+    "LP014": (
+        Severity.WARNING,
+        "tree-metadata-stale",
+        "rows were appended past the tree metadata's coverage watermark "
+        "by a path other than add_steiner_rows; backend=\"tree\" will "
+        "decline this model — re-stamp or rebuild via build_ebf_lp",
+    ),
     # --- TP: Topology structure ------------------------------------------
     "TP001": (
         Severity.ERROR,

@@ -30,7 +30,40 @@ def check_lp(lp: LinearProgram) -> list[Diagnostic]:
     out.extend(_check_columns(lp))
     out.extend(_check_rows(lp))
     out.extend(_check_redundancy(lp))
+    out.extend(_check_tree_meta(lp))
     return out
+
+
+def _check_tree_meta(lp: LinearProgram) -> list[Diagnostic]:
+    """Tree-structure visibility (``LP013``/``LP014``).
+
+    Models stamped by ``build_ebf_lp`` carry a :class:`TreeLpMeta` whose
+    ``covered_rows`` watermark certifies every row belongs to the family
+    the collapsed tree formulation implies.  A current watermark means
+    ``backend="tree"`` applies (advisory LP013); a stale one means some
+    producer appended rows without advancing it, so the tree backend
+    will decline the model (LP014).
+    """
+    meta = getattr(lp, "tree_meta", None)
+    if meta is None:
+        return []
+    covered = int(meta.covered_rows)
+    if covered == lp.num_constraints:
+        return [
+            Diagnostic(
+                "LP013",
+                f"tree metadata covers all {covered} rows "
+                f"({int(meta.num_sinks)} sinks); backend=\"tree\" applies",
+            )
+        ]
+    return [
+        Diagnostic(
+            "LP014",
+            f"{lp.num_constraints - covered} row(s) appended past the "
+            f"coverage watermark ({covered}/{lp.num_constraints}); "
+            "backend=\"tree\" will decline this model",
+        )
+    ]
 
 
 def _check_columns(lp: LinearProgram) -> list[Diagnostic]:

@@ -146,6 +146,7 @@ def _cmd_solve(args) -> int:
             lp_timeout=args.lp_timeout,
             on_infeasible=on_infeasible,
             race="auto" if args.race else None,
+            backend=args.backend,
         )
     except AllBackendsFailedError as exc:
         print("solve failed — every LP backend was exhausted:", file=sys.stderr)
@@ -167,6 +168,10 @@ def _cmd_solve(args) -> int:
     t.add_row("Steiner rows used", sol.stats.steiner_rows)
     t.add_row("of possible", sol.stats.total_pairs)
     t.add_row("backend", sol.stats.backend)
+    if sol.stats.restricted_master_rounds:
+        t.add_row("dual iterations", sol.stats.dual_iterations)
+        t.add_row("DP passes", sol.stats.dp_passes)
+        t.add_row("master rounds", sol.stats.restricted_master_rounds)
     t.add_row("LP seconds", f"{sol.stats.lp_seconds:.4f}")
     t.add_row("embed seconds", f"{sol.stats.embed_seconds:.4f}")
     if args.resilient or args.race:
@@ -593,10 +598,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="load sinks from a pin-list/CSV file instead of a surrogate",
     )
     p.add_argument(
+        "--backend",
+        choices=("auto", "simplex", "scipy", "tree"),
+        default="auto",
+        help="LP backend: 'tree' uses the structure-aware collapsed "
+        "solve (fastest at 1k+ sinks); 'auto' picks a generic backend "
+        "by size",
+    )
+    p.add_argument(
         "--resilient",
         action="store_true",
         help="solve LPs through the backend fallback chain "
-        "(simplex -> scipy, with retries)",
+        "(simplex -> scipy -> tree, with retries)",
     )
     p.add_argument(
         "--race",

@@ -29,8 +29,11 @@ from repro.data.instance_json import (
     load_instance,
     save_instance,
 )
+from repro.data.synth import SYNTH_TIERS, synth_instance
 
 __all__ = [
+    "SYNTH_TIERS",
+    "synth_instance",
     "uniform_sinks",
     "clustered_sinks",
     "grid_sinks",

@@ -61,22 +61,36 @@ def build_ebf_lp(
         if w < 0:
             raise ValueError(f"negative edge weight for e_{i}")
         lp.add_variable(f"e{i}", cost=w)
+    zero_edges = tuple(zero_edges)
     for i in zero_edges:
         lp.fix_variable(edge_var(i), 0.0)
 
-    add_delay_rows(lp, topo, bounds)
+    windows = add_delay_rows(lp, topo, bounds)
     add_steiner_rows(lp, topo, pairs)
+    _stamp_tree_meta(lp, topo, windows, zero_edges, weights)
     return lp
 
 
-def add_delay_rows(lp: LinearProgram, topo: Topology, bounds: DelayBounds) -> None:
+def add_delay_rows(
+    lp: LinearProgram, topo: Topology, bounds: DelayBounds
+) -> tuple[np.ndarray, np.ndarray]:
     """One range row per sink (Equation 8), with the fixed-source
-    strengthening described in the module docstring."""
+    strengthening described in the module docstring.
+
+    Returns the effective ``(lower, upper)`` window arrays indexed by
+    node id (sink entries meaningful, strengthening applied, inverted
+    windows stored raw) — the exact windows the rows encode, which the
+    tree backend's metadata reuses so the two formulations can never
+    drift.
+    """
     src = topo.source_location
+    lower = np.zeros(topo.num_nodes)
+    upper = np.zeros(topo.num_nodes)
     for i in topo.sink_ids():
         lo, hi = bounds.window(i)
         if src is not None:
             lo = max(lo, manhattan(src, topo.sink_location(i)))
+        lower[i], upper[i] = lo, hi
         if lo > hi + 1e-12:
             # Bounds violating Eq. 3 produce an immediately-infeasible row
             # rather than a silent wrong answer.
@@ -84,6 +98,7 @@ def add_delay_rows(lp: LinearProgram, topo: Topology, bounds: DelayBounds) -> No
             continue
         coeffs = {edge_var(k): 1.0 for k in topo.path_to_root(i)}
         lp.add_range_constraint(coeffs, lo, hi, name=f"delay{i}")
+    return lower, upper
 
 
 def add_steiner_rows(
@@ -106,8 +121,43 @@ def add_steiner_rows(
     # Node-id columns -> LP columns (edge e_i lives in column i - 1).
     sub = block[:, 1:]
     names = [f"steiner{p[0]},{p[1]}" for p in pairs]
-    return list(
+    rows = list(
         lp.add_rows(sub.data, sub.indices, sub.indptr, Sense.GE, dist, names)
+    )
+    # Every Steiner row is a member of the family the tree backend's
+    # collapsed formulation implies, so appending one keeps the model
+    # tree-solvable: advance the coverage watermark.
+    if lp.tree_meta is not None:
+        lp.tree_meta.covered_rows = lp.num_constraints
+    return rows
+
+
+def _stamp_tree_meta(
+    lp: LinearProgram,
+    topo: Topology,
+    windows: tuple[np.ndarray, np.ndarray],
+    zero_edges: tuple[int, ...],
+    weights: Sequence[float] | None,
+) -> None:
+    """Record the tree facts the flat rows no longer expose, enabling the
+    structure-aware ``backend="tree"`` (see :mod:`repro.lp.treesolve`)."""
+    from repro.lp import TreeLpMeta
+
+    parents = np.zeros(topo.num_nodes, dtype=np.int64)
+    for v in range(1, topo.num_nodes):
+        parents[v] = topo.parent(v)
+    su, sv = topo.sink_uv()
+    lower, upper = windows
+    lp.tree_meta = TreeLpMeta(
+        parents=parents,
+        num_sinks=topo.num_sinks,
+        su=su,
+        sv=sv,
+        lower=lower,
+        upper=upper,
+        zero_edges=zero_edges,
+        weights=None if weights is None else np.asarray(weights, dtype=float),
+        covered_rows=lp.num_constraints,
     )
 
 

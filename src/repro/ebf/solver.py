@@ -56,6 +56,14 @@ class SolveStats:
     #: Wall-clock of the embedding stage.  The solver itself never embeds;
     #: :func:`repro.embedding.solve_and_embed` stamps this in afterwards.
     embed_seconds: float = 0.0
+    #: Tree-backend provenance (zero when no LP was solved by
+    #: ``backend="tree"``): simplex iterations of the collapsed
+    #: node-potential master, O(n) tree walks performed, and master LP
+    #: solves, summed over every LP of the solve (see
+    #: :mod:`repro.lp.treesolve`).
+    dual_iterations: int = 0
+    dp_passes: int = 0
+    restricted_master_rounds: int = 0
 
     @property
     def assembly_seconds(self) -> float:
@@ -137,6 +145,14 @@ def solve_lubt(
 
     Parameters
     ----------
+    backend:
+        ``"auto"`` (size-based simplex/scipy choice, default),
+        ``"simplex"``, ``"scipy"``, or ``"tree"`` — the structure-aware
+        node-potential solver (:mod:`repro.lp.treesolve`) that solves
+        the *entire* Steiner family in one collapsed O(n)-row LP, so the
+        lazy loop converges in a single round; its
+        ``dual_iterations``/``dp_passes``/``restricted_master_rounds``
+        provenance lands in :class:`SolveStats`.
     mode:
         ``"lazy"`` (Section 4.6 row generation, default) or ``"full"``
         (all C(m,2) Steiner rows up front).
@@ -249,6 +265,17 @@ def solve_lubt(
 
     reports: list = []
     round_lp_seconds: list[float] = []
+    tree_prov = {
+        "dual_iterations": 0,
+        "dp_passes": 0,
+        "restricted_master_rounds": 0,
+    }
+
+    def _absorb_provenance(result) -> None:
+        p = getattr(result, "provenance", None)
+        if p:
+            for key in tree_prov:
+                tree_prov[key] += int(p.get(key, 0))
 
     def _solve(lp, resolved):
         t0 = time.perf_counter()
@@ -278,6 +305,7 @@ def solve_lubt(
             if validate == "strict":
                 _check_built_lp(lp)
             result = _solve(lp, backend).require_optimal()
+            _absorb_provenance(result)
             e = expand_edge_vector(topo, result.x)
             rounds, iters = 1, result.iterations
         else:
@@ -320,6 +348,7 @@ def solve_lubt(
             discovered: list[tuple[int, int, int]] = []
             for rounds in range(1, max_rounds + 1):
                 result = _solve(lp, resolved).require_optimal()
+                _absorb_provenance(result)
                 iters += result.iterations
                 e = expand_edge_vector(topo, result.x)
                 violated = steiner_violations(
@@ -383,6 +412,9 @@ def solve_lubt(
         lp_seconds=sum(round_lp_seconds),
         round_lp_seconds=tuple(round_lp_seconds),
         warm_rows=warm_rows,
+        dual_iterations=tree_prov["dual_iterations"],
+        dp_passes=tree_prov["dp_passes"],
+        restricted_master_rounds=tree_prov["restricted_master_rounds"],
     )
     return LubtSolution(
         topo,

@@ -24,6 +24,7 @@ from repro.lp.result import (
     UnboundedError,
 )
 from repro.lp.solve import preferred_backend, solve_lp
+from repro.lp.treesolve import TreeLpMeta, solve_tree
 from repro.lp.io import lp_to_string, write_lp_file
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "BackendCapabilityError",
     "preferred_backend",
     "solve_lp",
+    "TreeLpMeta",
+    "solve_tree",
     "lp_to_string",
     "write_lp_file",
 ]

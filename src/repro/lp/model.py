@@ -24,10 +24,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import numpy as np
 from scipy import sparse
+
+if TYPE_CHECKING:
+    from repro.lp.treesolve import TreeLpMeta
 
 
 class Sense(Enum):
@@ -81,6 +84,12 @@ class LinearProgram:
         default=None, repr=False, compare=False
     )
     _residual_cache: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: Tree facts stamped by ``repro.ebf.build_ebf_lp`` so the structure
+    #: aware ``"tree"`` backend can re-derive the model; ``None`` for
+    #: generic LPs.  Derived/advisory state: excluded from comparison.
+    tree_meta: "TreeLpMeta | None" = field(
         default=None, repr=False, compare=False
     )
 

@@ -37,11 +37,14 @@ def solve_lp(lp: LinearProgram, backend: str = "auto") -> LpResult:
     """Solve ``lp`` with the requested backend.
 
     ``backend`` is one of ``"auto"`` (size-based choice), ``"simplex"``
-    (the from-scratch solver), or ``"scipy"`` (HiGHS).  The ``"auto"``
-    path never crashes on a capability gap: models the simplex cannot
-    represent are routed (or re-routed, should the pre-check ever miss
-    one) to scipy.  An explicit ``"simplex"`` request on such a model
-    raises :class:`BackendCapabilityError`.
+    (the from-scratch solver), ``"scipy"`` (HiGHS), or ``"tree"`` (the
+    structure-aware node-potential solver for models stamped by
+    ``repro.ebf.build_ebf_lp`` — see :mod:`repro.lp.treesolve`).  The
+    ``"auto"`` path never crashes on a capability gap: models the simplex
+    cannot represent are routed (or re-routed, should the pre-check ever
+    miss one) to scipy.  An explicit ``"simplex"`` or ``"tree"`` request
+    on a model that backend cannot represent raises
+    :class:`BackendCapabilityError`.
     """
     from repro.lp.scipy_backend import solve_scipy
     from repro.lp.simplex import solve_simplex
@@ -57,4 +60,8 @@ def solve_lp(lp: LinearProgram, backend: str = "auto") -> LpResult:
         return solve_simplex(lp)
     if backend == "scipy":
         return solve_scipy(lp)
+    if backend == "tree":
+        from repro.lp.treesolve import solve_tree
+
+        return solve_tree(lp)
     raise ValueError(f"unknown LP backend {backend!r}")

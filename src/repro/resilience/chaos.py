@@ -208,6 +208,12 @@ class _ClientWorker(threading.Thread):
         # degenerating into a pure cache-hit loop — while every answer
         # stays checkable against the same ground truth.
         batch = self.rng.choice((8, 16, 32, 48, 64, 96))
+        # A slice of solves pins the structure-aware tree backend so the
+        # soak exercises it server-side (distinct instance keys, same
+        # ground-truth canonical cost — exact parity is the invariant).
+        extra = (
+            {"backend": "tree"} if self.rng.random() < 0.25 else {}
+        )
         try:
             reply = client.solve(
                 self.topo,
@@ -215,6 +221,7 @@ class _ClientWorker(threading.Thread):
                 deadline=self.config.deadline if use_deadline else None,
                 resilient=True,
                 batch=batch,
+                **extra,
             )
         except ServerBusyError:
             with self.lock:

@@ -199,6 +199,12 @@ def diagnose_infeasibility(
     lp, slack_cols = build_elastic_lp(
         topo, bounds, pairs=pairs, zero_edges=zero_edges
     )
+    # The elastic LP's slack columns fall outside the tree-structured
+    # family, so the structure-aware backend does not apply here; a
+    # tree-backend caller still gets an identical diagnosis via the
+    # generic path.
+    if backend == "tree":
+        backend = "auto"
 
     def _solve(model):
         if resilient:

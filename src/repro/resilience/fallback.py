@@ -32,8 +32,12 @@ from repro.resilience.report import AttemptOutcome, SolveAttempt, SolveReport
 Backend = Callable[[LinearProgram], LpResult]
 
 #: Default cascade order; :func:`backend_chain` rotates the preferred
-#: backend to the front per model.
-DEFAULT_CHAIN = ("simplex", "scipy")
+#: backend to the front per model.  The ``tree`` backend rides last: it
+#: declines non-tree-stamped models instantly with
+#: :class:`BackendCapabilityError` (a clean fall-through that costs no
+#: timeout and never counts against its circuit breaker), and gives
+#: EBF-built models a structure-aware lane in the cascade and the race.
+DEFAULT_CHAIN = ("simplex", "scipy", "tree")
 
 _STATUS_TO_OUTCOME = {
     LpStatus.OPTIMAL: AttemptOutcome.OPTIMAL,
@@ -47,8 +51,9 @@ def default_solvers() -> dict[str, Backend]:
     """Name -> callable map of the real backends."""
     from repro.lp.scipy_backend import solve_scipy
     from repro.lp.simplex import solve_simplex
+    from repro.lp.treesolve import solve_tree
 
-    return {"simplex": solve_simplex, "scipy": solve_scipy}
+    return {"simplex": solve_simplex, "scipy": solve_scipy, "tree": solve_tree}
 
 
 def backend_chain(lp: LinearProgram, backend: str = "auto") -> tuple[str, ...]:

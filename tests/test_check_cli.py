@@ -53,7 +53,10 @@ class TestCheckCommand:
         payload = json.loads(capsys.readouterr().out)
         assert rc == 0
         assert payload["ok"] is True
-        assert payload["diagnostics"] == []
+        # Advisory-only: the LP013 tree-solvability note, nothing else.
+        assert payload["counts"]["error"] == 0
+        assert payload["counts"]["warning"] == 0
+        assert [d["code"] for d in payload["diagnostics"]] == ["LP013"]
 
     def test_table1_suite_clean(self, capsys):
         rc = main([

@@ -163,7 +163,21 @@ class TestLpChecks:
     def test_clean_ebf_lp_has_no_findings(self):
         topo, bounds = small_instance()
         lp = build_ebf_lp(topo, bounds)
-        assert check_instance(topo, bounds, lp).diagnostics == ()
+        result = check_instance(topo, bounds, lp)
+        # The only finding on a clean EBF build is the advisory LP013
+        # note that the model is tree-solvable.
+        assert set(result.codes()) == {"LP013"}
+        assert all(d.severity is Severity.INFO for d in result.diagnostics)
+
+    def test_tree_meta_watermark_visibility(self):
+        topo, bounds = small_instance()
+        lp = build_ebf_lp(topo, bounds)
+        assert "LP013" in check_instance(lp=lp).codes()
+        # Appending a row outside add_steiner_rows strands the watermark:
+        # the checker flips from advisory LP013 to warning LP014.
+        lp.add_constraint({0: 1.0}, Sense.LE, 1e9, name="foreign")
+        codes = check_instance(lp=lp).codes()
+        assert "LP014" in codes and "LP013" not in codes
 
 
 class TestSolverWiring:

@@ -55,8 +55,11 @@ class TestHappyPath:
         assert report.num_attempts == 1
 
     def test_backend_chain_prefers_by_size_and_capability(self):
-        assert backend_chain(small_lp()) == ("simplex", "scipy")
-        assert backend_chain(small_lp(), "scipy") == ("scipy", "simplex")
+        assert backend_chain(small_lp()) == ("simplex", "scipy", "tree")
+        assert backend_chain(small_lp(), "scipy") == (
+            "scipy", "simplex", "tree"
+        )
+        assert backend_chain(small_lp(), "tree")[0] == "tree"
         free = LinearProgram()
         free.add_variable("x", cost=1.0, lb=-np.inf)
         assert backend_chain(free)[0] == "scipy"
