@@ -1,5 +1,17 @@
-"""Metrics, validation, and paper-style table rendering."""
+"""Metrics, validation, paper-style table rendering — and the project
+static analyzer (``python -m repro.analysis``; see ``engine.py``)."""
 
+from repro.analysis.engine import (
+    RULES,
+    Finding,
+    Rule,
+    analyze_file,
+    analyze_paths,
+    changed_lines_vs,
+    load_rules,
+    render_json,
+    render_sarif,
+)
 from repro.analysis.metrics import (
     TreeMetrics,
     measure_solution,
@@ -23,6 +35,15 @@ from repro.analysis.sensitivity import (
 )
 
 __all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "analyze_file",
+    "analyze_paths",
+    "changed_lines_vs",
+    "load_rules",
+    "render_json",
+    "render_sarif",
     "render_tree",
     "tree_to_svg",
     "save_svg",

@@ -38,6 +38,7 @@ from repro.check.diagnostics import (
     emit,
 )
 from repro.check.lp_checks import check_lp
+from repro.check.scaling import ScalingAdvice, check_scaling, scaling_advice
 from repro.check.topology_checks import check_parents, check_topology
 
 __all__ = [
@@ -46,14 +47,17 @@ __all__ = [
     "Diagnostic",
     "DiagnosticWarning",
     "InstanceCheckError",
+    "ScalingAdvice",
     "Severity",
     "check_bounds",
     "check_instance",
     "check_lp",
     "check_parents",
+    "check_scaling",
     "check_topology",
     "collect",
     "emit",
+    "scaling_advice",
 ]
 
 

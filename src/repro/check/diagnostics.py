@@ -111,6 +111,22 @@ CODES: dict[str, tuple[Severity, str, str]] = {
         "by a path other than add_steiner_rows; backend=\"tree\" will "
         "decline this model — re-stamp or rebuild via build_ebf_lp",
     ),
+    "LP015": (
+        Severity.WARNING,
+        "ill-conditioned-coefficients",
+        "coefficient magnitudes span >= 1e10; solver pivot tolerances "
+        "degrade — equilibrate the model (rescale_lp) or rebuild with "
+        "consistent units; solve_lp_resilient(rescale_retry=\"auto\") "
+        "keys its rescale retry on this",
+    ),
+    "LP016": (
+        Severity.WARNING,
+        "row-norm-spread",
+        "row infinity norms span >= 1e6 (mixed-unit rows); equilibrate "
+        "the model (rescale_lp) or normalize the row producers; "
+        "solve_lp_resilient(rescale_retry=\"auto\") keys its rescale "
+        "retry on this",
+    ),
     # --- TP: Topology structure ------------------------------------------
     "TP001": (
         Severity.ERROR,

@@ -12,6 +12,7 @@ import math
 import numpy as np
 
 from repro.check.diagnostics import Diagnostic
+from repro.check.scaling import check_scaling
 from repro.lp.model import LinearProgram, Sense
 
 #: Unsatisfiable-empty-row tolerance: an empty row with |rhs| below this
@@ -31,6 +32,7 @@ def check_lp(lp: LinearProgram) -> list[Diagnostic]:
     out.extend(_check_rows(lp))
     out.extend(_check_redundancy(lp))
     out.extend(_check_tree_meta(lp))
+    out.extend(check_scaling(lp))
     return out
 
 

@@ -395,6 +395,8 @@ def _cmd_chaos(args) -> int:
         max_inflight=args.max_inflight,
         queue_limit=args.queue_limit,
         kill_workers=not args.no_kill,
+        sanitize=args.sanitize,
+        stall_threshold=args.stall_threshold,
     )
     report = run_chaos(config)
     print(report.summary())
@@ -717,6 +719,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-kill", action="store_true",
         help="do not SIGKILL pool workers during the soak",
+    )
+    p.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the runtime sanitizer harness: instrumented "
+        "locks (lock-order cycles fail the run) plus an event-loop "
+        "stall detector in the server",
+    )
+    p.add_argument(
+        "--stall-threshold", type=float, default=0.5, metavar="SEC",
+        help="loop-stall report threshold with --sanitize (seconds)",
     )
     p.set_defaults(func=_cmd_chaos)
 

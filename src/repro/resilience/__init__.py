@@ -52,6 +52,12 @@ from repro.resilience.elastic import (
 )
 from repro.resilience import faults
 from repro.resilience.chaos import ChaosConfig, ChaosReport, run_chaos
+from repro.resilience.sanitize import (
+    LockOrderError,
+    LockOrderViolation,
+    LockSanitizer,
+    StallMonitor,
+)
 
 __all__ = [
     "AllBackendsFailedError",
@@ -63,10 +69,14 @@ __all__ = [
     "CircuitBreaker",
     "DEFAULT_CHAIN",
     "InfeasibilityDiagnosis",
+    "LockOrderError",
+    "LockOrderViolation",
+    "LockSanitizer",
     "ResilienceError",
     "SinkRelaxation",
     "SolveAttempt",
     "SolveReport",
+    "StallMonitor",
     "backend_chain",
     "build_elastic_lp",
     "default_registry",

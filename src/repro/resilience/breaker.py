@@ -162,6 +162,8 @@ class BreakerRegistry:
         self._lock = threading.Lock()
 
     def _get(self, name: str) -> CircuitBreaker:
+        # Helper-under-lock: every caller below holds self._lock, which
+        # the per-file CC002 inference cannot see across methods.
         br = self._breakers.get(name)
         if br is None:
             br = CircuitBreaker(
@@ -170,7 +172,7 @@ class BreakerRegistry:
                 recovery_time=self.recovery_time,
                 clock=self._clock,
             )
-            self._breakers[name] = br
+            self._breakers[name] = br  # noqa: CC002 — callers hold _lock
         return br
 
     def allow(self, name: str) -> bool:

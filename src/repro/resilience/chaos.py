@@ -68,6 +68,16 @@ class ChaosConfig:
     fault_count: int = 8
     #: Client-side deadline (seconds) attached to a fraction of solves.
     deadline: float = 30.0
+    #: Run under the runtime sanitizer harness (``lubt chaos
+    #: --sanitize``): server/client locks are wrapped by a
+    #: :class:`~repro.resilience.sanitize.LockSanitizer` (lock-order
+    #: cycles become invariant violations) and the server runs an
+    #: event-loop :class:`~repro.resilience.sanitize.StallMonitor`
+    #: (stalls are reported in the summary, gated by the existing hang
+    #: invariants).
+    sanitize: bool = False
+    #: Loop-stall threshold (seconds) when ``sanitize`` is on.
+    stall_threshold: float = 0.5
 
 
 @dataclass
@@ -87,6 +97,10 @@ class ChaosReport:
     hangs: list = field(default_factory=list)
     inconsistencies: list = field(default_factory=list)
     protocol_failures: list = field(default_factory=list)
+    #: Potential deadlocks the lock sanitizer recorded (``sanitize``
+    #: runs only; empty == pass).
+    lock_order_violations: list = field(default_factory=list)
+    sanitizer_stats: dict = field(default_factory=dict)
     server_stats: dict = field(default_factory=dict)
 
     @property
@@ -96,6 +110,7 @@ class ChaosReport:
             or self.hangs
             or self.inconsistencies
             or self.protocol_failures
+            or self.lock_order_violations
         )
 
     def summary(self) -> str:
@@ -127,11 +142,21 @@ class ChaosReport:
                         for n, r in sorted(st["breakers"].items())
                     )
                 )
+        if self.sanitizer_stats:
+            st = self.server_stats or {}
+            stall = st.get("stall") or {}
+            lines.append(
+                f"  sanitizer: locks={self.sanitizer_stats['locks_created']} "
+                f"acquisitions={self.sanitizer_stats['acquisitions']} "
+                f"loop_stalls={stall.get('stalls', 'n/a')} "
+                f"max_drift={stall.get('max_drift', 0.0):.3f}s"
+            )
         for label, items in (
             ("WRONG ANSWERS", self.wrong_answers),
             ("HANGS", self.hangs),
             ("COUNTER INCONSISTENCIES", self.inconsistencies),
             ("PROTOCOL FAILURES", self.protocol_failures),
+            ("LOCK ORDER VIOLATIONS", self.lock_order_violations),
         ):
             for item in items[:10]:
                 lines.append(f"  {label}: {item}")
@@ -340,8 +365,8 @@ class _ClientWorker(threading.Thread):
                 else:
                     self._count("disconnect")
                     self._abuse("disconnect")
-        except Exception as exc:  # noqa: BLE001 — a crashed client thread
-            # is a harness failure worth reporting, not a silent exit.
+        except Exception as exc:  # a crashed client thread is a harness
+            # failure worth reporting, not a silent exit.
             with self.lock:
                 self.report.protocol_failures.append(
                     f"client {self.index} crashed: "
@@ -378,8 +403,13 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
 
     config = config or ChaosConfig()
     report = ChaosReport(config=config)
-    lock = threading.Lock()
     topo, family, expected = _chaos_instances(config)
+
+    sanitizer = None
+    if config.sanitize:
+        from repro.resilience.sanitize import LockSanitizer
+
+        sanitizer = LockSanitizer()
 
     overrides = None
     if config.fault_count > 0:
@@ -393,15 +423,27 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
         }
 
     t0 = time.monotonic()
-    handle = ServerThread(
-        jobs=config.jobs,
-        cache_size=config.cache_size,
-        max_inflight=config.max_inflight,
-        queue_limit=config.queue_limit,
-        solve_timeout=config.solve_timeout,
-        max_line_bytes=config.max_line_bytes,
-        solver_overrides=overrides,
-    )
+    # The instrument window wraps construction only: ServerThread's
+    # constructor blocks until the server (and, under jobs>1, its forked
+    # pool) finished starting, so every lock in the server stack — and
+    # the harness's own report lock — is born sanitized and stays
+    # instrumented for the whole soak.
+    from contextlib import nullcontext
+
+    with sanitizer.instrument() if sanitizer else nullcontext():
+        lock = threading.Lock()
+        handle = ServerThread(
+            jobs=config.jobs,
+            cache_size=config.cache_size,
+            max_inflight=config.max_inflight,
+            queue_limit=config.queue_limit,
+            solve_timeout=config.solve_timeout,
+            max_line_bytes=config.max_line_bytes,
+            solver_overrides=overrides,
+            stall_threshold=(
+                config.stall_threshold if config.sanitize else None
+            ),
+        )
     try:
         t_end = time.monotonic() + config.duration
         clients = [
@@ -463,8 +505,8 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
                             f"{expected[i]!r}"
                         )
                 report.server_stats = c.stats()
-        except Exception as exc:  # noqa: BLE001 — a dead server after the
-            # storm is exactly what this harness exists to catch.
+        except Exception as exc:  # a dead server after the storm is
+            # exactly what this harness exists to catch.
             report.hangs.append(
                 f"post-storm verification failed: "
                 f"{type(exc).__name__}: {exc}"
@@ -474,6 +516,12 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
             handle.stop(timeout=60.0)
         except RuntimeError as exc:
             report.hangs.append(str(exc))
+
+    if sanitizer is not None:
+        report.sanitizer_stats = sanitizer.stats()
+        report.lock_order_violations = [
+            v.render() for v in sanitizer.violations
+        ]
 
     # Counter consistency (invariants, not exact traffic counts).
     st = report.server_stats

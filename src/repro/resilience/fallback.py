@@ -207,7 +207,7 @@ def _race_backends(
                 name = futures[fut]
                 try:
                     raw = fut.result()
-                except Exception as exc:  # noqa: BLE001 — resilience boundary
+                except Exception as exc:  # resilience boundary
                     report.attempts.append(SolveAttempt(
                         name, AttemptOutcome.EXCEPTION, elapsed,
                         error=f"{type(exc).__name__}: {exc}",
@@ -286,7 +286,7 @@ def solve_lp_resilient(
     *,
     solvers: Mapping[str, Backend] | None = None,
     timeout: float | None = None,
-    rescale_retry: bool = True,
+    rescale_retry: bool | str = True,
     confirm_infeasible: bool = False,
     raise_on_failure: bool = True,
     feasibility_tol: float = 1e-6,
@@ -310,6 +310,12 @@ def solve_lp_resilient(
         solution, or a backend exception other than
         :class:`BackendCapabilityError`), retry the same backend once on
         a unit-magnitude rescaled copy before falling through.
+        ``"auto"`` consults the LP scaling advisor
+        (:func:`repro.check.scaling_advice`, the LP015/LP016 statistics)
+        on the first numerical failure and retries only when the model
+        is actually badly scaled — a numerical failure on a well-scaled
+        model falls through to the next backend immediately instead of
+        paying for a rescaled attempt that cannot help.
     confirm_infeasible:
         Treat an INFEASIBLE verdict from a non-final backend as suspect
         and seek a second opinion; a later OPTIMAL overrides it.
@@ -343,6 +349,22 @@ def solve_lp_resilient(
     """
     if race not in (None, "off", "auto"):
         raise ValueError(f"unknown race mode {race!r}")
+    if rescale_retry not in (True, False, "auto"):
+        raise ValueError(f"unknown rescale_retry mode {rescale_retry!r}")
+
+    # "auto" decides from the scaling advisor, lazily (first numerical
+    # failure) and once — the statistics are a property of the model.
+    _rescale_wanted: bool | None = (
+        None if rescale_retry == "auto" else bool(rescale_retry)
+    )
+
+    def _want_rescale() -> bool:
+        nonlocal _rescale_wanted
+        if _rescale_wanted is None:
+            from repro.check.scaling import scaling_advice
+
+            _rescale_wanted = scaling_advice(lp).rescale_recommended
+        return _rescale_wanted
     solver_map = dict(default_solvers())
     if solvers:
         solver_map.update(solvers)
@@ -403,14 +425,14 @@ def solve_lp_resilient(
                     time.perf_counter() - start, rescaled, error=str(exc),
                 ))
                 break  # capability gaps are permanent for this backend
-            except Exception as exc:  # noqa: BLE001 — resilience boundary
+            except Exception as exc:  # resilience boundary
                 report.attempts.append(SolveAttempt(
                     name, AttemptOutcome.EXCEPTION,
                     time.perf_counter() - start, rescaled,
                     error=f"{type(exc).__name__}: {exc}",
                 ))
                 _breaker_record(breakers, name, AttemptOutcome.EXCEPTION)
-                if rescale_retry and not rescaled:
+                if not rescaled and _want_rescale():
                     rescaled = True
                     continue
                 break
@@ -438,7 +460,11 @@ def solve_lp_resilient(
                 if breakers is not None:
                     report.breaker_states = breakers.states()
                 return report
-            if outcome in AttemptOutcome.NUMERICAL and rescale_retry and not rescaled:
+            if (
+                outcome in AttemptOutcome.NUMERICAL
+                and not rescaled
+                and _want_rescale()
+            ):
                 rescaled = True
                 continue
             break

@@ -1,0 +1,313 @@
+"""Runtime concurrency sanitizer: lock-order recording + loop-stall watch.
+
+The static CC rules (:mod:`repro.analysis.rules_cc`) reason lexically and
+per-file; this module is their runtime complement, switched on by
+``lubt chaos --sanitize`` so the existing chaos soak doubles as a
+race/deadlock sanitizer run:
+
+:class:`LockSanitizer`
+    An opt-in instrumented-lock harness.  Inside its
+    :meth:`~LockSanitizer.instrument` window, ``threading.Lock`` /
+    ``threading.RLock`` construct :class:`SanitizedLock` wrappers labeled
+    by creation site.  Every acquisition records *intended* ordering
+    edges (held-site → wanted-site) into a global directed graph; an
+    acquisition that would close a cycle is a potential deadlock and is
+    recorded as a :class:`LockOrderViolation` (or raised as
+    :class:`LockOrderError` with ``fail_fast=True``) **even when the
+    interleaving happens not to deadlock in this run** — which is what
+    makes a passing chaos soak meaningful evidence.
+
+:class:`StallMonitor`
+    An event-loop stall detector: a task that sleeps a short interval
+    and measures scheduling drift.  Drift beyond the threshold means
+    *something blocked the loop* — exactly the defect class CC001 exists
+    to prevent — and is recorded with its magnitude.  The solve server
+    starts one when constructed with ``stall_threshold=...`` and folds
+    its counters into ``stats`` replies.
+
+Both tools record by default rather than raise: the chaos harness turns
+their findings into report invariants, keeping detection (here) separate
+from gating (``ChaosReport.ok``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator
+
+
+def _creation_site(skip_files: tuple[str, ...]) -> str:
+    """``file.py:lineno`` of the nearest caller frame outside this
+    module (and outside ``threading``) — the lock's *identity* for
+    ordering purposes, so every ``LruCache`` instance shares one node."""
+    import sys
+
+    frame = sys._getframe(1)
+    while frame is not None:
+        fname = frame.f_code.co_filename
+        if not fname.endswith(skip_files):
+            return f"{Path(fname).name}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+@dataclass(frozen=True)
+class LockOrderViolation:
+    """One potential deadlock: acquiring ``wanted`` while holding
+    ``held`` closes a cycle through the recorded ordering graph."""
+
+    held: str
+    wanted: str
+    cycle: tuple[str, ...]
+    thread: str
+
+    def render(self) -> str:
+        path = " -> ".join(self.cycle)
+        return (
+            f"lock-order cycle on thread {self.thread!r}: acquiring "
+            f"{self.wanted} while holding {self.held} closes {path}"
+        )
+
+
+class LockOrderError(RuntimeError):
+    """Raised by a ``fail_fast`` sanitizer at the acquisition that would
+    close a lock-ordering cycle."""
+
+    def __init__(self, violation: LockOrderViolation) -> None:
+        super().__init__(violation.render())
+        self.violation = violation
+
+
+class SanitizedLock:
+    """A ``threading.Lock``/``RLock`` wrapper that reports acquisition
+    order to a :class:`LockSanitizer`.  Context-manager and
+    acquire/release compatible, including the private hooks
+    ``threading.Condition`` expects of an RLock."""
+
+    def __init__(
+        self, inner, sanitizer: "LockSanitizer", label: str
+    ) -> None:
+        self._inner = inner
+        self._sanitizer = sanitizer
+        self._label = label
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer._note_intent(self._label)
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._sanitizer._note_acquired(self._label)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._sanitizer._note_released(self._label)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _at_fork_reinit(self) -> None:
+        # CPython reinitializes every registered lock in a forked child;
+        # the wrapper must forward or pool workers die on first fork.
+        self._inner._at_fork_reinit()
+
+    # threading.Condition duck-typing for RLock-backed conditions.
+    def _acquire_restore(self, state) -> None:
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+
+    def _release_save(self):
+        if hasattr(self._inner, "_release_save"):
+            return self._inner._release_save()
+        self._inner.release()
+        return None
+
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return self._inner._is_owned()
+        # Heuristic used by CPython for plain locks in Condition.
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<SanitizedLock {self._label} {self._inner!r}>"
+
+
+class LockSanitizer:
+    """Records lock-acquisition order across all threads and detects
+    ordering cycles (potential deadlocks).  See the module docstring."""
+
+    def __init__(self, fail_fast: bool = False) -> None:
+        self.fail_fast = fail_fast
+        self.violations: list[LockOrderViolation] = []
+        #: site -> sites acquired while it was held (ordering edges).
+        self._edges: dict[str, set[str]] = {}
+        self._tls = threading.local()
+        # Captured before any instrument() window, so the sanitizer's own
+        # guard is always a real (un-instrumented) RLock.
+        self._guard = threading.RLock()
+        self.locks_created = 0
+        self.acquisitions = 0
+
+    # -- bookkeeping (called from SanitizedLock) -----------------------
+    def _held(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _note_intent(self, label: str) -> None:
+        held = self._held()
+        if not held or held[-1] == label:
+            return
+        with self._guard:
+            self.acquisitions += 1
+            for h in held:
+                if h == label:
+                    continue  # re-entrant same-site hold
+                cycle = self._path(label, h)
+                if cycle is not None:
+                    violation = LockOrderViolation(
+                        held=h,
+                        wanted=label,
+                        cycle=(*cycle, label),
+                        thread=threading.current_thread().name,
+                    )
+                    self.violations.append(violation)
+                    if self.fail_fast:
+                        raise LockOrderError(violation)
+                else:
+                    self._edges.setdefault(h, set()).add(label)
+
+    def _note_acquired(self, label: str) -> None:
+        self._held().append(label)
+
+    def _note_released(self, label: str) -> None:
+        held = self._held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == label:
+                del held[i]
+                break
+
+    def _path(self, src: str, dst: str) -> tuple[str, ...] | None:
+        """Shortest recorded ordering path ``src -> ... -> dst`` (BFS);
+        its existence means adding ``dst -> src`` closes a cycle.
+        Caller holds ``_guard``."""
+        if src == dst:
+            return (src,)
+        frontier = [(src,)]
+        seen = {src}
+        while frontier:
+            nxt: list[tuple[str, ...]] = []
+            for path in frontier:
+                for succ in sorted(self._edges.get(path[-1], ())):
+                    if succ == dst:
+                        return (*path, succ)
+                    if succ not in seen:
+                        seen.add(succ)
+                        nxt.append((*path, succ))
+            frontier = nxt
+        return None
+
+    # -- instrumentation window ----------------------------------------
+    @contextmanager
+    def instrument(self) -> Iterator["LockSanitizer"]:
+        """Patch ``threading.Lock``/``RLock`` so locks *created* inside
+        this window are sanitized for their whole lifetime.  The window
+        should wrap construction/startup of the system under test; the
+        patch is global, so nest-free, short windows are best."""
+        real_lock, real_rlock = threading.Lock, threading.RLock
+        skip = (__file__, threading.__file__)
+
+        def make_lock() -> SanitizedLock:
+            self.locks_created += 1
+            return SanitizedLock(real_lock(), self, _creation_site(skip))
+
+        def make_rlock() -> SanitizedLock:
+            self.locks_created += 1
+            return SanitizedLock(real_rlock(), self, _creation_site(skip))
+
+        threading.Lock, threading.RLock = make_lock, make_rlock
+        try:
+            yield self
+        finally:
+            threading.Lock, threading.RLock = real_lock, real_rlock
+
+    # -- reporting ------------------------------------------------------
+    def stats(self) -> dict:
+        with self._guard:
+            return {
+                "locks_created": self.locks_created,
+                "acquisitions": self.acquisitions,
+                "violations": [v.render() for v in self.violations],
+            }
+
+    def assert_clean(self) -> None:
+        with self._guard:
+            if self.violations:
+                raise LockOrderError(self.violations[0])
+
+
+@dataclass
+class StallMonitor:
+    """Event-loop stall detector.
+
+    ``start()`` schedules a task that repeatedly sleeps ``interval``
+    seconds and compares wall drift against ``threshold``; any sleep that
+    resumes ``threshold`` or more seconds late means the loop was blocked
+    that long (a CC001-class defect at runtime).  Stalls are recorded,
+    not raised — gate on :attr:`stalls` / :attr:`max_drift`.
+    """
+
+    threshold: float = 0.25
+    interval: float = 0.05
+    clock: Callable[[], float] = time.monotonic
+    stalls: list[float] = field(default_factory=list)
+    max_drift: float = 0.0
+    _task: "asyncio.Task | None" = None
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="lubt-stall-monitor"
+            )
+
+    async def _run(self) -> None:
+        while True:
+            before = self.clock()
+            await asyncio.sleep(self.interval)
+            drift = (self.clock() - before) - self.interval
+            self.max_drift = max(self.max_drift, drift)
+            if drift >= self.threshold:
+                self.stalls.append(drift)
+
+    async def stop(self) -> None:
+        task, self._task = self._task, None
+        if task is None:
+            return
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:  # noqa: CC006 — own task's teardown
+            pass
+
+    def stats(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "stalls": len(self.stalls),
+            "max_drift": self.max_drift,
+        }

@@ -43,6 +43,7 @@ from repro.ebf.bounds import DelayBounds
 from repro.ebf.sweep import WarmStart, canonical_cost
 from repro.resilience.breaker import BreakerRegistry, default_registry
 from repro.resilience.report import SolveReport
+from repro.resilience.sanitize import StallMonitor
 from repro.server.cache import LruCache
 from repro.server.keys import instance_key
 from repro.server.protocol import (
@@ -223,6 +224,7 @@ class SolveServer:
         queue_limit: int = 32,
         max_line_bytes: int = MAX_LINE_BYTES,
         solver_overrides: Mapping[str, Any] | None = None,
+        stall_threshold: float | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -266,6 +268,11 @@ class SolveServer:
         #: merge theirs in via the result payload).
         self._breaker_view: dict[str, dict] = {}
         self.started_at: float | None = None
+        #: Event-loop stall detector (sanitizer harness); armed when
+        #: ``stall_threshold`` is given, e.g. by ``lubt chaos --sanitize``.
+        self.stall_threshold = stall_threshold
+        self._stall: StallMonitor | None = None
+        self.last_stall_stats: dict[str, Any] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stop = asyncio.Event()
         #: Provenance reports of the most recent requests (telemetry).
@@ -281,8 +288,17 @@ class SolveServer:
         if self.jobs > 1 and self.pool is None:
             from repro.perf.pool import WorkerPool
 
-            self.pool = WorkerPool(self.jobs, start_method=self._start_method)
+            # Forking the resident workers blocks on per-worker pipe
+            # handshakes; keep it off the event loop so a concurrently
+            # started server never stalls accepts (CC001).
+            jobs, start_method = self.jobs, self._start_method
+            self.pool = await asyncio.get_running_loop().run_in_executor(
+                None, lambda: WorkerPool(jobs, start_method=start_method)
+            )
         self._slots = asyncio.Semaphore(self.max_inflight)
+        if self.stall_threshold is not None and self._stall is None:
+            self._stall = StallMonitor(threshold=self.stall_threshold)
+            self._stall.start()
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.host,
@@ -305,13 +321,23 @@ class SolveServer:
         self._stop.set()
 
     async def aclose(self) -> None:
+        if self._stall is not None:
+            stall, self._stall = self._stall, None
+            # Keep the final counters visible in post-shutdown stats().
+            self.last_stall_stats = stall.stats()
+            await stall.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         if self.pool is not None:
-            self.pool.close()
-            self.pool = None
+            # pool.close() joins (and after a grace period SIGKILLs)
+            # every worker process — up to seconds of wall time.  Swap
+            # the pool out first so no request races a closing pool,
+            # then join off the event loop (CC001): heartbeats, stats
+            # requests and connection teardowns keep flowing meanwhile.
+            pool, self.pool = self.pool, None
+            await asyncio.get_running_loop().run_in_executor(None, pool.close)
 
     def run(self) -> None:
         """Blocking entry point (the ``lubt serve`` subcommand)."""
@@ -323,7 +349,7 @@ class SolveServer:
     async def _handle_connection(self, reader, writer) -> None:
         try:
             await self._serve_connection(reader, writer)
-        except asyncio.CancelledError:
+        except asyncio.CancelledError:  # noqa: CC006 — teardown boundary
             # Event-loop teardown cancelled this connection (typically a
             # client parked in readline when the server shut down).  The
             # transport dies with the loop; completing normally keeps
@@ -336,7 +362,7 @@ class SolveServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-            except asyncio.CancelledError:
+            except asyncio.CancelledError:  # noqa: CC006 — teardown boundary
                 pass  # cancelled mid-close; the transport dies regardless
 
     async def _serve_connection(self, reader, writer) -> None:
@@ -661,6 +687,11 @@ class SolveServer:
                     "tasks_run": self.pool.tasks_run,
                     "workers_replaced": self.pool.workers_replaced,
                 }
+            ),
+            "stall": (
+                self._stall.stats()
+                if self._stall is not None
+                else self.last_stall_stats
             ),
         }
 

@@ -1,0 +1,14 @@
+"""Golden finding: CC001 — blocking call inside an async def."""
+
+import time
+
+
+async def handler() -> None:
+    time.sleep(0.1)
+
+
+async def routed_is_clean() -> None:
+    import asyncio
+
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, lambda: time.sleep(0.1))

@@ -1,0 +1,17 @@
+"""Golden finding: CC002 — store to a lock-guarded attribute outside
+the lock region."""
+
+import threading
+
+
+class Store:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.items: list[int] = []
+
+    def add(self, item: int) -> None:
+        with self._lock:
+            self.items.append(item)
+
+    def racy_reset(self) -> None:
+        self.items = []

@@ -1,0 +1,12 @@
+"""Golden finding: CC003 — thread spawned while holding a lock."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def spawn() -> threading.Thread:
+    with _lock:
+        t = threading.Thread(target=print)
+        t.start()
+    return t

@@ -1,0 +1,9 @@
+"""Golden finding: CC004 — coroutine called but never awaited."""
+
+
+async def worker() -> int:
+    return 1
+
+
+def kickoff() -> None:
+    worker()

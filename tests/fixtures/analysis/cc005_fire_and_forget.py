@@ -1,0 +1,7 @@
+"""Golden finding: CC005 — create_task result dropped."""
+
+import asyncio
+
+
+async def main() -> None:
+    asyncio.create_task(asyncio.sleep(1))

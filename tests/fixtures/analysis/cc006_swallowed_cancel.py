@@ -1,0 +1,10 @@
+"""Golden finding: CC006 — CancelledError swallowed without re-raise."""
+
+import asyncio
+
+
+async def run(task) -> None:
+    try:
+        await task
+    except asyncio.CancelledError:
+        pass

@@ -1,0 +1,5 @@
+"""Golden finding: RL900 — a suppression whose rule does not fire."""
+
+
+def fold(xs) -> list:
+    return [x for x in xs]  # noqa: RL002

@@ -1,0 +1,117 @@
+"""CC concurrency rules against the committed golden-finding fixtures.
+
+Each fixture in ``tests/fixtures/analysis/`` contains exactly one
+deliberate defect; the analyzer must report exactly that rule at that
+line (and ``python -m repro.analysis <fixture>`` must exit 1 on it),
+while the real source tree analyzes clean.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import engine
+from repro.analysis.engine import analyze_file, analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures" / "analysis"
+SRC = Path(__file__).parent.parent / "src"
+
+#: fixture file -> (expected rule, expected line).
+GOLDEN = {
+    "cc001_blocking_in_async.py": ("CC001", 7),
+    "cc002_unlocked_store.py": ("CC002", 17),
+    "cc003_spawn_under_lock.py": ("CC003", 10),
+    "cc004_unawaited_coroutine.py": ("CC004", 9),
+    "cc005_fire_and_forget.py": ("CC005", 7),
+    "cc006_swallowed_cancel.py": ("CC006", 9),
+    "rl900_stale_noqa.py": ("RL900", 5),
+}
+
+
+class TestGoldenFixtures:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_fixture_yields_exactly_its_finding(self, name):
+        code, line = GOLDEN[name]
+        path = FIXTURES / name
+        findings = analyze_file(path, FIXTURES)
+        assert [(f.rule, f.line) for f in findings] == [(code, line)], [
+            f.render() for f in findings
+        ]
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_cli_exits_1_on_fixture(self, name, capsys):
+        rc = engine.main([str(FIXTURES / name)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert GOLDEN[name][0] in out
+        assert "1 finding(s)" in out
+
+    def test_every_cc_rule_has_a_fixture(self):
+        engine.load_rules()
+        cc_codes = {c for c in engine.RULES if c.startswith("CC")}
+        covered = {code for code, _ in GOLDEN.values() if code.startswith("CC")}
+        assert covered == cc_codes
+
+    def test_directory_sweep_finds_all_fixtures(self):
+        findings = analyze_paths([FIXTURES])
+        assert sorted(f.rule for f in findings) == sorted(
+            code for code, _ in GOLDEN.values()
+        )
+
+
+class TestSourceTreeIsClean:
+    def test_src_tree_analyzes_clean(self, capsys):
+        """The acceptance gate: full analyzer run over src/ exits 0."""
+        rc = engine.main([str(SRC)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "clean" in out
+
+
+# Safe statement pool: constructs no CC/RL rule should ever flag.
+_SAFE_ASYNC_BODY = st.sampled_from(
+    [
+        "await asyncio.sleep(0)",
+        "x = await fetch()",
+        "await loop.run_in_executor(None, work)",
+        "result = [i for i in range(3)]",
+        "return 42",
+    ]
+)
+_SAFE_SYNC_BODY = st.sampled_from(
+    [
+        "time.sleep(0.01)",
+        "x = threading.Lock()",
+        "return sorted(range(3))",
+        "total = sum(range(10))",
+    ]
+)
+_NAME = st.from_regex(r"[a-z][a-z_]{0,8}", fullmatch=True).filter(
+    lambda s: s not in {"def", "if", "for", "in", "is", "not", "pass"}
+)
+
+
+class TestCleanByConstruction:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        name=_NAME,
+        async_body=st.lists(_SAFE_ASYNC_BODY, min_size=1, max_size=4),
+        sync_body=st.lists(_SAFE_SYNC_BODY, min_size=1, max_size=4),
+    )
+    def test_safe_constructs_never_flagged(self, name, async_body, sync_body):
+        """Programs built only from loop-safe constructs analyze clean —
+        guards the CC rules against false-positive drift."""
+        lines = ["import asyncio", "import threading", "import time", ""]
+        lines.append(f"async def a_{name}(fetch, loop, work):")
+        lines += [f"    {stmt}" for stmt in async_body]
+        lines.append("")
+        lines.append(f"def s_{name}():")
+        lines += [f"    {stmt}" for stmt in sync_body]
+        source = "\n".join(lines) + "\n"
+        enabled = engine._enabled_codes(("RL", "CC"), None, None)
+        findings = engine.analyze_source(
+            Path("generated.py"), "/generated.py", source, enabled=enabled
+        )
+        assert findings == [], [f.render() for f in findings]

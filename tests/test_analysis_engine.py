@@ -1,0 +1,261 @@
+"""The analyzer engine: registry, suppression, audit, output, diff mode.
+
+Behavioral contract of :mod:`repro.analysis.engine` — rule bookkeeping,
+``# noqa`` handling (including the BLE001 alias and the RL900 stale-
+suppression audit), JSON/SARIF rendering, diff-aware filtering, and the
+CLI's exit codes.
+"""
+
+import json
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import engine
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    analyze_file,
+    analyze_paths,
+    changed_lines_vs,
+    load_rules,
+    render_json,
+    render_sarif,
+)
+
+ASYNC_SLEEPER = (
+    "import time\n\nasync def f():\n    time.sleep(1)\n"
+)
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    p = tmp_path / name
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(source)
+    return p
+
+
+class TestRegistry:
+    def test_load_rules_registers_both_families(self):
+        rules = load_rules()
+        for code in ("RL001", "RL004", "RL900", "CC001", "CC006"):
+            assert code in rules
+        assert all(isinstance(r, Rule) for r in rules.values())
+
+    def test_duplicate_code_rejected(self):
+        load_rules()
+        clone = Rule(code="CC001", name="imposter", summary="nope")
+        with pytest.raises(ValueError, match="duplicate"):
+            engine.register(clone)
+
+    def test_reregistering_same_object_is_idempotent(self):
+        load_rules()
+        rule = engine.RULES["CC001"]
+        assert engine.register(rule) is rule
+
+    def test_every_rule_has_summary_and_valid_severity(self):
+        for rule in load_rules().values():
+            assert rule.summary
+            assert rule.severity in ("error", "warning")
+
+
+class TestFinding:
+    def test_render_and_dict_shape(self):
+        load_rules()
+        f = Finding(Path("a.py"), 3, 7, "CC001", "boom")
+        assert f.render() == "a.py:3:7: CC001 boom"
+        d = f.to_dict()
+        assert d["rule"] == "CC001" and d["line"] == 3 and d["col"] == 7
+        assert d["severity"] == engine.RULES["CC001"].severity
+
+    def test_unknown_rule_defaults_to_error_severity(self):
+        assert Finding(Path("a.py"), 1, 0, "ZZ999", "x").severity == "error"
+
+
+class TestSuppression:
+    def test_noqa_suppresses_the_named_code(self, tmp_path):
+        src = ASYNC_SLEEPER.replace(
+            "time.sleep(1)", "time.sleep(1)  # noqa: CC001"
+        )
+        p = write(tmp_path, "m.py", src)
+        assert analyze_file(p, tmp_path) == []
+
+    def test_noqa_for_other_code_does_not_suppress(self, tmp_path):
+        src = ASYNC_SLEEPER.replace(
+            "time.sleep(1)", "time.sleep(1)  # noqa: CC005"
+        )
+        p = write(tmp_path, "m.py", src)
+        rules = [f.rule for f in analyze_file(p, tmp_path)]
+        assert "CC001" in rules
+        assert "RL900" in rules  # and the useless escape is itself flagged
+
+    def test_ble001_alias_suppresses_rl004(self, tmp_path):
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:  # noqa: BLE001\n"
+            "        pass\n"
+        )
+        p = write(tmp_path, "m.py", src)
+        assert analyze_file(p, tmp_path) == []
+
+    def test_used_alias_is_not_audited_stale(self, tmp_path):
+        # The alias counts as *used*, so RL900 must stay quiet about it.
+        src = (
+            "def f():\n"
+            "    try:\n"
+            "        pass\n"
+            "    except Exception:  # noqa: BLE001\n"
+            "        pass\n"
+        )
+        p = write(tmp_path, "m.py", src)
+        assert all(f.rule != "RL900" for f in analyze_file(p, tmp_path))
+
+
+class TestAudit:
+    def test_stale_noqa_flagged(self, tmp_path):
+        p = write(tmp_path, "m.py", "x = 1  # noqa: CC001\n")
+        findings = analyze_file(p, tmp_path)
+        assert [f.rule for f in findings] == ["RL900"]
+        assert "CC001" in findings[0].message
+
+    def test_rl900_itself_suppressible(self, tmp_path):
+        p = write(tmp_path, "m.py", "x = 1  # noqa: CC001, RL900\n")
+        assert analyze_file(p, tmp_path) == []
+
+    def test_foreign_tool_codes_ignored(self, tmp_path):
+        # ruff/flake8 codes outside the auditable set are not our business.
+        p = write(tmp_path, "m.py", "import os  # noqa: F401\n")
+        assert analyze_file(p, tmp_path) == []
+
+    def test_no_audit_flag_disables_rl900(self, tmp_path):
+        p = write(tmp_path, "m.py", "x = 1  # noqa: CC001\n")
+        assert analyze_file(p, tmp_path, audit=False) == []
+
+
+class TestSelection:
+    def test_select_narrows_to_named_codes(self, tmp_path):
+        p = write(tmp_path, "m.py", ASYNC_SLEEPER)
+        assert analyze_file(p, tmp_path, select=["CC005"]) == []
+        assert [f.rule for f in analyze_file(p, tmp_path, select=["CC001"])] \
+            == ["CC001"]
+
+    def test_ignore_drops_named_codes(self, tmp_path):
+        p = write(tmp_path, "m.py", ASYNC_SLEEPER)
+        assert analyze_file(p, tmp_path, ignore=["CC001"]) == []
+
+    def test_families_filter(self, tmp_path):
+        p = write(tmp_path, "m.py", ASYNC_SLEEPER)
+        assert analyze_file(p, tmp_path, families=("RL",)) == []
+
+    def test_syntax_error_reports_rl000(self, tmp_path):
+        p = write(tmp_path, "m.py", "def broken(:\n")
+        findings = analyze_file(p, tmp_path)
+        assert [f.rule for f in findings] == ["RL000"]
+
+
+class TestRendering:
+    def _findings(self, tmp_path):
+        p = write(tmp_path, "m.py", ASYNC_SLEEPER)
+        return analyze_file(p, tmp_path)
+
+    def test_json_shape(self, tmp_path):
+        doc = json.loads(render_json(self._findings(tmp_path)))
+        assert doc["tool"] == "repro.analysis"
+        assert doc["count"] == 1
+        assert doc["findings"][0]["rule"] == "CC001"
+
+    def test_sarif_shape(self, tmp_path):
+        doc = json.loads(render_sarif(self._findings(tmp_path)))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.analysis"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["CC001"]
+        result = run["results"][0]
+        assert result["ruleId"] == "CC001"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 4
+        assert region["startColumn"] >= 1
+
+    def test_sarif_empty_run_is_valid(self):
+        doc = json.loads(render_sarif([]))
+        assert doc["runs"][0]["results"] == []
+
+
+class TestDiffAware:
+    def test_changed_mapping_filters_files_and_lines(self, tmp_path):
+        flagged = write(tmp_path, "a.py", ASYNC_SLEEPER)
+        write(tmp_path, "b.py", ASYNC_SLEEPER)
+        # Only a.py is "changed", and only its finding line counts.
+        changed = {flagged.resolve(): {4}}
+        findings = analyze_paths([tmp_path], changed=changed)
+        assert [(f.path.name, f.rule) for f in findings] == [("a.py", "CC001")]
+        # Changed lines that miss the finding filter it out.
+        assert analyze_paths(
+            [tmp_path], changed={flagged.resolve(): {1}}
+        ) == []
+
+    def test_none_line_set_means_whole_file(self, tmp_path):
+        flagged = write(tmp_path, "a.py", ASYNC_SLEEPER)
+        findings = analyze_paths(
+            [tmp_path], changed={flagged.resolve(): None}
+        )
+        assert [f.rule for f in findings] == ["CC001"]
+
+    def test_changed_lines_vs_parses_real_diff(self, tmp_path):
+        git = ["git", "-C", str(tmp_path), "-c", "user.email=t@t",
+               "-c", "user.name=t"]
+        subprocess.run(["git", "init", "-q", str(tmp_path)], check=True)
+        target = write(tmp_path, "mod.py", "x = 1\ny = 2\n")
+        subprocess.run([*git, "add", "."], check=True)
+        subprocess.run([*git, "commit", "-qm", "seed"], check=True)
+        target.write_text("x = 1\ny = 3\nz = 4\n")
+        changed = changed_lines_vs("HEAD", repo_root=tmp_path)
+        assert changed == {target.resolve(): {2, 3}}
+
+
+class TestCli:
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        p = write(tmp_path, "m.py", "x = 1\n")
+        assert engine.main([str(p)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_1_with_render(self, tmp_path, capsys):
+        p = write(tmp_path, "m.py", ASYNC_SLEEPER)
+        assert engine.main([str(p)]) == 1
+        out = capsys.readouterr().out
+        assert "CC001" in out and "1 finding(s)" in out
+
+    def test_json_flag(self, tmp_path, capsys):
+        p = write(tmp_path, "m.py", ASYNC_SLEEPER)
+        assert engine.main([str(p), "--json"]) == 1
+        assert json.loads(capsys.readouterr().out)["count"] == 1
+
+    def test_sarif_flag(self, tmp_path, capsys):
+        p = write(tmp_path, "m.py", ASYNC_SLEEPER)
+        assert engine.main([str(p), "--sarif"]) == 1
+        assert json.loads(capsys.readouterr().out)["version"] == "2.1.0"
+
+    def test_list_rules(self, capsys):
+        assert engine.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "CC001" in out and "RL900" in out
+
+    def test_explain_known_and_unknown(self, capsys):
+        assert engine.main(["--explain", "cc001"]) == 0
+        assert "CC001" in capsys.readouterr().out
+        assert engine.main(["--explain", "ZZ999"]) == 2
+
+    def test_ignore_flag(self, tmp_path, capsys):
+        p = write(tmp_path, "m.py", ASYNC_SLEEPER)
+        assert engine.main([str(p), "--ignore", "CC001"]) == 0
+        capsys.readouterr()
+
+    def test_bad_diff_ref_exits_2(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)  # not a git repo
+        p = write(tmp_path, "m.py", "x = 1\n")
+        assert engine.main([str(p), "--diff", "HEAD"]) == 2
+        assert "cannot diff" in capsys.readouterr().err

@@ -1,0 +1,204 @@
+"""Runtime concurrency sanitizer: lock-order recording + stall watch.
+
+The sanitizer must catch a deterministic seeded deadlock schedule (a
+lock-order inversion that never actually deadlocks in-run) and a
+deliberate event-loop stall, while staying quiet on disciplined code.
+"""
+
+import asyncio
+import random
+import threading
+import time
+
+import pytest
+
+from repro.resilience import (
+    LockOrderError,
+    LockOrderViolation,
+    LockSanitizer,
+    StallMonitor,
+)
+
+
+def make_locks(sanitizer, n=2):
+    # One lock per source line: the sanitizer identifies locks by their
+    # creation site, so a comprehension would collapse them to one node.
+    with sanitizer.instrument():
+        a = threading.Lock()
+        b = threading.Lock()
+        c = threading.Lock()
+    return [a, b, c][:n]
+
+
+class TestLockOrder:
+    def test_consistent_order_is_clean(self):
+        san = LockSanitizer()
+        a, b = make_locks(san)
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+        assert san.violations == []
+        san.assert_clean()
+
+    def test_inversion_is_a_violation_without_deadlocking(self):
+        san = LockSanitizer()
+        a, b = make_locks(san)
+        with a:
+            with b:
+                pass
+        with b:
+            with a:  # closes the a -> b cycle
+                pass
+        assert len(san.violations) == 1
+        v = san.violations[0]
+        assert isinstance(v, LockOrderViolation)
+        assert v.cycle[0] == v.cycle[-1] or len(set(v.cycle)) == 2
+        assert "lock-order cycle" in v.render()
+        with pytest.raises(LockOrderError):
+            san.assert_clean()
+
+    def test_fail_fast_raises_at_the_acquisition(self):
+        san = LockSanitizer(fail_fast=True)
+        a, b = make_locks(san)
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(LockOrderError):
+                a.acquire()
+
+    def test_three_lock_cycle_detected(self):
+        # a->b, b->c recorded; c->a closes a length-3 cycle.
+        san = LockSanitizer()
+        a, b, c = make_locks(san, 3)
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:
+                pass
+        assert len(san.violations) == 1
+        assert len(san.violations[0].cycle) >= 3
+
+    def test_reentrant_rlock_is_not_a_violation(self):
+        san = LockSanitizer()
+        with san.instrument():
+            r = threading.RLock()
+        with r:
+            with r:
+                pass
+        assert san.violations == []
+
+    def test_condition_on_sanitized_rlock_works(self):
+        san = LockSanitizer()
+        with san.instrument():
+            cond = threading.Condition(threading.RLock())
+        with cond:
+            cond.notify_all()
+        assert san.violations == []
+
+    def test_instrument_window_restores_factories(self):
+        real_lock, real_rlock = threading.Lock, threading.RLock
+        san = LockSanitizer()
+        with san.instrument():
+            assert threading.Lock is not real_lock
+        assert threading.Lock is real_lock
+        assert threading.RLock is real_rlock
+
+    def test_locks_created_outside_window_are_untouched(self):
+        san = LockSanitizer()
+        make_locks(san)
+        plain = threading.Lock()
+        assert not hasattr(plain, "_sanitizer")
+        assert san.stats()["locks_created"] == 3
+
+    def test_stats_shape(self):
+        san = LockSanitizer()
+        a, b = make_locks(san)
+        with a:
+            with b:
+                pass
+        st = san.stats()
+        assert st["locks_created"] == 3
+        assert st["acquisitions"] >= 1
+        assert st["violations"] == []
+
+
+class TestSeededDeadlockReproducer:
+    """The ISSUE's deterministic reproducer: a seeded schedule over three
+    locks whose acquisition pairs contain an inversion.  Single-threaded,
+    so it can never actually deadlock — the sanitizer must still flag it,
+    and identically on every run."""
+
+    SEED = 20260808
+
+    def run_schedule(self, seed):
+        san = LockSanitizer()
+        locks = make_locks(san, 3)
+        rng = random.Random(seed)
+        for _ in range(20):
+            i, j = rng.sample(range(3), 2)
+            with locks[i]:
+                with locks[j]:
+                    pass
+        return san
+
+    def test_seeded_schedule_is_caught(self):
+        san = self.run_schedule(self.SEED)
+        assert san.violations, "seeded inversion schedule must be flagged"
+
+    def test_detection_is_deterministic(self):
+        first = self.run_schedule(self.SEED)
+        second = self.run_schedule(self.SEED)
+        assert [v.render() for v in first.violations] == [
+            v.render() for v in second.violations
+        ]
+
+
+class TestStallMonitor:
+    def test_blocked_loop_is_recorded(self):
+        async def scenario():
+            mon = StallMonitor(threshold=0.1, interval=0.02)
+            mon.start()
+            await asyncio.sleep(0.05)  # let it take a baseline lap
+            time.sleep(0.3)  # deliberate CC001-class stall
+            await asyncio.sleep(0.05)
+            await mon.stop()
+            return mon
+
+        mon = asyncio.run(scenario())
+        assert len(mon.stalls) >= 1
+        assert mon.max_drift >= 0.1
+        assert mon.stats()["stalls"] == len(mon.stalls)
+
+    def test_healthy_loop_is_clean(self):
+        async def scenario():
+            mon = StallMonitor(threshold=0.5, interval=0.02)
+            mon.start()
+            await asyncio.sleep(0.2)
+            await mon.stop()
+            return mon
+
+        mon = asyncio.run(scenario())
+        assert mon.stalls == []
+
+    def test_stop_without_start_is_a_noop(self):
+        async def scenario():
+            await StallMonitor().stop()
+
+        asyncio.run(scenario())
+
+    def test_start_is_idempotent(self):
+        async def scenario():
+            mon = StallMonitor(threshold=5.0)
+            mon.start()
+            task = mon._task
+            mon.start()
+            assert mon._task is task
+            await mon.stop()
+
+        asyncio.run(scenario())

@@ -1,47 +1,31 @@
 #!/usr/bin/env python3
-"""Project-specific AST lint for the LUBT reproduction.
+"""Project-specific AST lint for the LUBT reproduction — compat shim.
 
-Generic linters can't see these invariants; this tool enforces them in
-CI (``python tools/lint_repro.py src/``):
+The lint grew into the ``repro.analysis`` package (PR 9): a typed rule
+registry, ``# noqa`` suppression with unused-suppression detection
+(RL900), a concurrency rule family (CC001+) for the service layer,
+JSON/SARIF output and a diff-aware CI mode.  Prefer::
+
+    PYTHONPATH=src python -m repro.analysis src/
+    PYTHONPATH=src python -m repro.analysis --list-rules
+
+This script remains as a drop-in shim running exactly the legacy RL
+surface (RL001–RL006, no suppression audit) with the legacy output
+format.  Rule semantics live in ``repro.analysis.rules_rl``:
 
 ``RL001`` **float-equality** — no bare ``==``/``!=`` against float
-    literals in ``geometry/``, ``embedding/`` and ``ebf/``.  Geometric
-    predicates must use epsilon compares (``math.isclose`` or an explicit
-    tolerance); exact float equality there is almost always a latent bug.
-
-``RL002`` **set-iteration** — no ``for`` / comprehension iteration over a
-    bare ``set(...)``, ``frozenset(...)``, set literal, or set
-    comprehension in ``lp/`` and ``ebf/`` (the LP row-assembly and lazy
-    loop paths).  Iteration order of a set depends on hash seeding and
-    insertion history; in row assembly it silently changes row order and
-    with it the degenerate-optimum vertex a backend returns.  Wrap in
-    ``sorted(...)`` instead.
-
+    literals in ``geometry/``, ``embedding/`` and ``ebf/``.
+``RL002`` **set-iteration** — no iteration over a bare set in ``lp/``
+    and ``ebf/``; wrap in ``sorted(...)``.
 ``RL003`` **cache-mutation** — no mutation of the memoized ``Topology``
-    caches outside ``topology/tree.py``: no attribute stores on
-    ``_sinks_under`` / ``_sink_uv`` / ``_incidence`` / ``_lift``, and no
-    mutating method calls (``append``/``sort``/...) or subscript stores
-    on the values returned by ``sinks_under()`` / ``sink_uv()`` /
-    ``root_path_incidence()``.  Those tables are shared and never
-    invalidated — treat them as frozen.
-
+    caches outside ``topology/tree.py``.
 ``RL004`` **broad-except** — no ``except Exception:`` / bare ``except:``
-    / ``except BaseException:`` outside ``resilience/``.  Resilience owns
-    the catch-everything boundary; elsewhere, name the exception.
-    Suppress a deliberate boundary with ``# noqa: BLE001``.
-
+    outside ``resilience/``; suppress a deliberate boundary with
+    ``# noqa: BLE001``.
 ``RL005`` **set-rebuild-in-comprehension** — no ``set(...)`` constructed
-    inside a comprehension's ``if`` clause (it is rebuilt once per
-    element; hoist it).
-
-``RL006`` **per-node-TRR-in-loop** — no ``TRR(...)`` / ``TRR.from_point``
-    / ``TRR.square`` construction inside a loop (``for`` / ``while`` /
-    comprehension) in ``embedding/``.  Per-node TRR objects in the
-    postorder/preorder passes are exactly what the array kernel
-    (``embedding/kernel.py``) replaced; new embedding code should work on
-    the ``(u_lo, u_hi, v_lo, v_hi)`` bound arrays and only materialise
-    TRRs at the view boundary.  The view layer and the scalar reference
-    paths carry ``# noqa: RL006`` escapes.
+    inside a comprehension's ``if`` clause.
+``RL006`` **per-node-TRR-in-loop** — no ``TRR(...)`` construction inside
+    a loop in ``embedding/``; use the array kernel's bound vectors.
 
 Suppression: a ``# noqa: RLxxx`` (or ``# noqa: BLE001`` for RL004)
 comment on the offending line disables that finding.  Exit status is 1
@@ -51,285 +35,30 @@ when any finding survives.
 from __future__ import annotations
 
 import argparse
-import ast
-import re
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 
-#: Scope (path substrings, POSIX-style) per rule; None = everywhere.
-RULE_SCOPE: dict[str, tuple[str, ...] | None] = {
-    "RL001": ("/geometry/", "/embedding/", "/ebf/"),
-    "RL002": ("/lp/", "/ebf/"),
-    "RL003": None,
-    "RL004": None,
-    "RL005": None,
-    "RL006": ("/embedding/",),
-}
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
 
-#: Memoized Topology cache internals and their public accessors.
-CACHE_ATTRS = {"_sinks_under", "_sink_uv", "_incidence", "_lift"}
-CACHE_ACCESSORS = {"sinks_under", "sink_uv", "root_path_incidence"}
-MUTATING_METHODS = {
-    "append", "extend", "insert", "remove", "pop", "clear", "sort",
-    "reverse", "setdefault", "update",
-}
+from repro.analysis.engine import Finding, analyze_file, analyze_paths, load_rules
 
-#: Files exempt from a rule entirely (the cache owner may touch its caches;
-#: resilience owns the broad-except boundary).
-RULE_EXEMPT_FILES: dict[str, tuple[str, ...]] = {
-    "RL003": ("/topology/tree.py",),
-    "RL004": ("/resilience/",),
-}
+__all__ = ["Finding", "lint_file", "lint_paths", "main"]
 
-_NOQA = re.compile(r"#\s*noqa\s*:\s*([A-Z0-9, ]+)", re.IGNORECASE)
+load_rules()
 
-
-@dataclass(frozen=True)
-class Finding:
-    path: Path
-    line: int
-    col: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
-
-
-def _noqa_codes(source_lines: list[str], lineno: int) -> set[str]:
-    if not (1 <= lineno <= len(source_lines)):
-        return set()
-    m = _NOQA.search(source_lines[lineno - 1])
-    if not m:
-        return set()
-    return {c.strip().upper() for c in m.group(1).split(",")}
-
-
-def _is_float_literal(node: ast.AST) -> bool:
-    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
-        node = node.operand
-    return isinstance(node, ast.Constant) and isinstance(node.value, float)
-
-
-def _is_set_expr(node: ast.AST) -> bool:
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
-        return node.func.id in ("set", "frozenset")
-    if isinstance(node, ast.BinOp) and isinstance(
-        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
-    ):
-        # set algebra on set expressions is still a set
-        return _is_set_expr(node.left) or _is_set_expr(node.right)
-    return False
-
-
-def _is_trr_construction(node: ast.Call) -> bool:
-    """``TRR(...)`` or a ``TRR.<classmethod>(...)`` such as ``from_point``
-    / ``square`` — the per-node object builds the array kernel replaced."""
-    func = node.func
-    if isinstance(func, ast.Name):
-        return func.id == "TRR"
-    if isinstance(func, ast.Attribute):
-        return isinstance(func.value, ast.Name) and func.value.id == "TRR"
-    return False
-
-
-def _mentions_cache_accessor(node: ast.AST) -> bool:
-    """Does the expression chain contain a call to a memoized accessor?"""
-    for sub in ast.walk(node):
-        if (
-            isinstance(sub, ast.Call)
-            and isinstance(sub.func, ast.Attribute)
-            and sub.func.attr in CACHE_ACCESSORS
-        ):
-            return True
-    return False
-
-
-class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: Path, rel: str, lines: list[str]) -> None:
-        self.path = path
-        self.rel = rel
-        self.lines = lines
-        self.findings: list[Finding] = []
-        self._loop_depth = 0
-
-    # -- plumbing ------------------------------------------------------
-    def _in_scope(self, rule: str) -> bool:
-        for frag in RULE_EXEMPT_FILES.get(rule, ()):
-            if frag in self.rel:
-                return False
-        scope = RULE_SCOPE[rule]
-        return scope is None or any(frag in self.rel for frag in scope)
-
-    def _report(self, rule: str, node: ast.AST, message: str) -> None:
-        if not self._in_scope(rule):
-            return
-        noqa = _noqa_codes(self.lines, node.lineno)
-        if rule in noqa or (rule == "RL004" and "BLE001" in noqa):
-            return
-        self.findings.append(
-            Finding(self.path, node.lineno, node.col_offset, rule, message)
-        )
-
-    # -- RL001: float equality ----------------------------------------
-    def visit_Compare(self, node: ast.Compare) -> None:
-        operands = [node.left, *node.comparators]
-        for op, left, right in zip(node.ops, operands, operands[1:]):
-            if isinstance(op, (ast.Eq, ast.NotEq)) and (
-                _is_float_literal(left) or _is_float_literal(right)
-            ):
-                self._report(
-                    "RL001",
-                    node,
-                    "float equality compare; use an epsilon "
-                    "(math.isclose or explicit tolerance)",
-                )
-        self.generic_visit(node)
-
-    # -- RL002: set iteration -----------------------------------------
-    def _check_iter(self, iter_node: ast.AST, where: ast.AST) -> None:
-        if _is_set_expr(iter_node):
-            self._report(
-                "RL002",
-                where,
-                "iteration over a bare set (hash-order nondeterminism); "
-                "wrap in sorted(...)",
-            )
-
-    def visit_For(self, node: ast.For) -> None:
-        self._check_iter(node.iter, node)
-        self._loop_depth += 1
-        self.generic_visit(node)
-        self._loop_depth -= 1
-
-    def visit_While(self, node: ast.While) -> None:
-        self._loop_depth += 1
-        self.generic_visit(node)
-        self._loop_depth -= 1
-
-    def _visit_comp(self, node) -> None:
-        for gen in node.generators:
-            self._check_iter(gen.iter, node)
-            # RL005: set built in a comprehension condition
-            for cond in gen.ifs:
-                for sub in ast.walk(cond):
-                    if (
-                        isinstance(sub, ast.Call)
-                        and isinstance(sub.func, ast.Name)
-                        and sub.func.id in ("set", "frozenset")
-                    ):
-                        self._report(
-                            "RL005",
-                            sub,
-                            "set constructed inside a comprehension "
-                            "condition (rebuilt per element); hoist it",
-                        )
-        self._loop_depth += 1
-        self.generic_visit(node)
-        self._loop_depth -= 1
-
-    visit_ListComp = _visit_comp
-    visit_SetComp = _visit_comp
-    visit_DictComp = _visit_comp
-    visit_GeneratorExp = _visit_comp
-
-    # -- RL003: memoized-cache mutation -------------------------------
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for target in node.targets:
-            self._check_cache_store(target)
-        self.generic_visit(node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        self._check_cache_store(node.target)
-        self.generic_visit(node)
-
-    def _check_cache_store(self, target: ast.AST) -> None:
-        if isinstance(target, ast.Attribute) and target.attr in CACHE_ATTRS:
-            self._report(
-                "RL003",
-                target,
-                f"store to memoized Topology cache {target.attr!r} "
-                "outside topology/tree.py",
-            )
-        if isinstance(target, ast.Subscript) and _mentions_cache_accessor(
-            target.value
-        ):
-            self._report(
-                "RL003",
-                target,
-                "subscript store into a memoized Topology table "
-                "(treat accessor results as read-only)",
-            )
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if (
-            isinstance(node.func, ast.Attribute)
-            and node.func.attr in MUTATING_METHODS
-            and _mentions_cache_accessor(node.func.value)
-        ):
-            self._report(
-                "RL003",
-                node,
-                f".{node.func.attr}() on a memoized Topology table "
-                "(treat accessor results as read-only)",
-            )
-        # RL006: per-node TRR construction inside a loop
-        if self._loop_depth > 0 and _is_trr_construction(node):
-            self._report(
-                "RL006",
-                node,
-                "per-node TRR construction inside a loop; use the array "
-                "kernel's (u_lo, u_hi, v_lo, v_hi) bound vectors "
-                "(embedding/kernel.py) and materialise TRRs only at the "
-                "view boundary",
-            )
-        self.generic_visit(node)
-
-    # -- RL004: broad except ------------------------------------------
-    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
-        broad = node.type is None or (
-            isinstance(node.type, ast.Name)
-            and node.type.id in ("Exception", "BaseException")
-        )
-        if broad:
-            what = "bare except" if node.type is None else (
-                f"except {node.type.id}"  # type: ignore[union-attr]
-            )
-            self._report(
-                "RL004",
-                node,
-                f"{what} outside resilience/; name the exception or "
-                "mark the boundary with `# noqa: BLE001`",
-            )
-        self.generic_visit(node)
+#: Legacy mode: RL determinism rules only, no RL900 suppression audit —
+#: the full surface (CC family, audit, SARIF, diff) is `repro.analysis`.
+_LEGACY = dict(families=("RL",), audit=False, ignore=("RL900",))
 
 
 def lint_file(path: Path, root: Path) -> list[Finding]:
-    rel = "/" + path.resolve().relative_to(root.resolve()).as_posix()
-    source = path.read_text()
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [
-            Finding(path, exc.lineno or 0, exc.offset or 0, "RL000",
-                    f"syntax error: {exc.msg}")
-        ]
-    visitor = _Visitor(path, rel, source.splitlines())
-    visitor.visit(tree)
-    return visitor.findings
+    return analyze_file(path, root, **_LEGACY)
 
 
 def lint_paths(paths: list[Path]) -> list[Finding]:
-    findings: list[Finding] = []
-    for given in paths:
-        root = given if given.is_dir() else given.parent
-        files = sorted(given.rglob("*.py")) if given.is_dir() else [given]
-        for f in files:
-            findings.extend(lint_file(f, root))
-    return findings
+    return analyze_paths(paths, **_LEGACY)
 
 
 def main(argv: list[str] | None = None) -> int:
