@@ -8,6 +8,8 @@ Subcommands map one-to-one onto the experiment drivers:
     lubt table2 --bench prim2 --skew 0.5 [--sinks 64] [--jobs N]
     lubt table3 --bench r1 [--sinks 64] [--jobs N]
     lubt fig8   --bench prim2 [--sinks 64] [--plot] [--jobs N]
+    lubt cts    --placement FILE [--nets N] [--jobs N] [--topology auto]
+                [--journal PATH] [--resume] | --synth NETSxSINKS [--seed S]
     lubt serve  [--port 9155] [--jobs N] [--cache-size 256]
     lubt request --port 9155 --bench prim1 [--op solve|sweep|stats|...]
     lubt chaos  [--seed 1234] [--duration 15] [--clients 3] [--jobs 2]
@@ -382,6 +384,66 @@ def _cmd_fig8(args) -> int:
     return 0
 
 
+def _parse_synth_spec(spec: str) -> tuple[int, int]:
+    """``"256x8"`` -> ``(256, 8)`` (nets x sinks-per-net)."""
+    nets, sep, sinks = spec.lower().partition("x")
+    if not sep:
+        raise SystemExit(
+            f"bad --synth spec {spec!r} (expected NETSxSINKS, e.g. 256x8)"
+        )
+    try:
+        return int(nets), int(sinks)
+    except ValueError:
+        raise SystemExit(
+            f"bad --synth spec {spec!r} (expected NETSxSINKS, e.g. 256x8)"
+        ) from None
+
+
+def _cmd_cts(args) -> int:
+    from repro.data import parse_placement_map, synth_placement
+    from repro.perf import run_cts
+
+    if (args.placement is None) == (args.synth is None):
+        raise SystemExit("pass exactly one of --placement FILE / --synth NxM")
+    if args.placement is not None:
+        placement = parse_placement_map(args.placement)
+        label = args.placement
+    else:
+        n, m = _parse_synth_spec(args.synth)
+        placement = synth_placement(nets=n, sinks_per_net=m, seed=args.seed)
+        label = f"synth {n}x{m} (seed {args.seed})"
+    journal = _open_journal(args)
+    progress = None
+    if args.progress:
+        done = [0]
+
+        def progress(r) -> None:
+            done[0] += 1
+            print(
+                f"  [{done[0]}] {r.name}: "
+                + (f"cost {r.cost:,.1f}" if r.ok else f"FAILED ({r.error})"),
+                flush=True,
+            )
+
+    try:
+        report = run_cts(
+            placement,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            journal=journal,
+            topology=args.topology,
+            lower=args.lower,
+            upper=args.upper,
+            nets=args.nets,
+            on_net=progress,
+        )
+    finally:
+        _close_journal(journal)
+    print(f"placement: {label}")
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_chaos(args) -> int:
     from repro.resilience.chaos import ChaosConfig, run_chaos
 
@@ -688,6 +750,61 @@ def build_parser() -> argparse.ArgumentParser:
     _journal_args(p)
     p.add_argument("--plot", action="store_true", help="also print an ASCII plot")
     p.set_defaults(func=_cmd_fig8)
+
+    p = sub.add_parser(
+        "cts",
+        help="chip-scale clock-tree flow: solve every clock net of a "
+        "placement as one batch on the resident scheduler",
+    )
+    p.add_argument(
+        "--placement",
+        default=None,
+        metavar="FILE",
+        help="placement.map file (cells + I/O ports; clock nets are "
+        "grouped from the mapped register names)",
+    )
+    p.add_argument(
+        "--synth",
+        default=None,
+        metavar="NxM",
+        help="generate a seeded synthetic placement with N clock nets "
+        "of M sinks each instead of reading a file (e.g. 1024x8)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="seed for --synth (default 0)"
+    )
+    p.add_argument(
+        "--nets",
+        type=int,
+        default=None,
+        metavar="N",
+        help="solve only the first N clock nets (default: all)",
+    )
+    _jobs_arg(p)
+    _journal_args(p)
+    p.add_argument(
+        "--topology",
+        choices=("auto", "nn", "bipartition", "htree"),
+        default="auto",
+        help="per-net topology builder; 'auto' picks by sink count "
+        "(nn <=32, bipartition <=256, htree beyond)",
+    )
+    p.add_argument("--lower", type=float, default=0.8, help="lower bound / radius")
+    p.add_argument("--upper", type=float, default=1.2, help="upper bound / radius")
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-net kill-on-timeout (scoped to the offending net; "
+        "chunk survivors are resubmitted)",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="print each net as it completes (completion order)",
+    )
+    p.set_defaults(func=_cmd_cts)
 
     p = sub.add_parser(
         "chaos",

@@ -29,11 +29,27 @@ from repro.data.instance_json import (
     load_instance,
     save_instance,
 )
+from repro.data.placement import (
+    ClockNet,
+    PlacedCell,
+    Placement,
+    extract_clock_nets,
+    parse_placement_map,
+    save_placement_map,
+    synth_placement,
+)
 from repro.data.synth import SYNTH_TIERS, synth_instance
 
 __all__ = [
     "SYNTH_TIERS",
     "synth_instance",
+    "ClockNet",
+    "PlacedCell",
+    "Placement",
+    "extract_clock_nets",
+    "parse_placement_map",
+    "save_placement_map",
+    "synth_placement",
     "uniform_sinks",
     "clustered_sinks",
     "grid_sinks",

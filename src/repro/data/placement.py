@@ -1,0 +1,385 @@
+"""``placement.map`` reader: whole-design placements and clock nets.
+
+The chip-scale CTS flow starts from a *placement* — every cell of a
+design with its type and die coordinates — rather than a single net's
+sink list.  This module parses the ``placement.map`` idiom used by
+structured-ASIC flows (one line per fabric cell, ``->`` mapping it to
+the logical cell it implements), extracts the clocked cells, groups
+them into per-driver clock nets, and claims unused buffer cells as net
+drivers — turning one file into the thousands of independent LUBT
+instances that :mod:`repro.perf.cts` pushes through the batch
+scheduler.
+
+File format (``#`` starts a comment anywhere)::
+
+    grid 40 40                              # optional fabric grid dims
+    clk 0.0 7000.0                          # I/O port: name x y
+    cell_0_0 DFFQX1 120.0 340.0 -> core0.alu.r0_reg
+    cell_0_1 BUFX4  180.0 340.0 -> UNUSED   # unused fabric resource
+
+* a **fabric cell** line is ``name type x y -> mapped``; ``UNUSED``
+  marks a free resource (CTS may claim it as a clock buffer);
+* an **I/O port** line is ``name x y``;
+* an optional ``grid W H`` line records the fabric grid dimensions.
+
+Anything else is a typed :class:`~repro.data.FormatError` naming the
+line — a placement is machine-written, so a malformed line means the
+wrong file (or a truncated copy), not a style variant worth guessing
+about.
+
+Clocked cells are recognized by type prefix (``DFF``/``SDFF``/
+``LATCH``); their net is the first hierarchical component of the mapped
+name (``core0.alu.r0_reg`` → net ``core0``), the idiom being that one
+clock buffer drives each hierarchical block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.data.formats import FormatError
+from repro.geometry import Point
+
+#: Mapped-cell marker for a free fabric resource.
+UNUSED = "UNUSED"
+
+#: Cell-type prefixes treated as clock sinks.
+_SINK_PREFIXES = ("DFF", "SDFF", "LATCH")
+
+#: Cell-type prefixes claimable as clock-net drivers.
+_BUFFER_PREFIXES = ("BUF", "INV", "CLKBUF")
+
+
+@dataclass(frozen=True)
+class PlacedCell:
+    """One fabric cell: where it is and what it implements."""
+
+    name: str
+    cell_type: str
+    x: float
+    y: float
+    mapped: str
+
+    @property
+    def is_unused(self) -> bool:
+        return self.mapped == UNUSED
+
+    @property
+    def is_sink(self) -> bool:
+        """A used clocked cell — a clock sink."""
+        return not self.is_unused and self.cell_type.upper().startswith(
+            _SINK_PREFIXES
+        )
+
+    @property
+    def is_free_buffer(self) -> bool:
+        """An unused buffer/inverter — claimable as a clock-net driver."""
+        return self.is_unused and self.cell_type.upper().startswith(
+            _BUFFER_PREFIXES
+        )
+
+    @property
+    def location(self) -> Point:
+        return Point(self.x, self.y)
+
+
+@dataclass(frozen=True)
+class ClockNet:
+    """One clock net: a driver location and the sinks it must reach."""
+
+    name: str
+    source: Point
+    sinks: tuple[Point, ...]
+    #: Fabric-cell name of the claimed driver (None = synthetic tap at
+    #: the sink centroid, when the placement had no free buffer left).
+    driver: str | None = None
+
+    @property
+    def num_sinks(self) -> int:
+        return len(self.sinks)
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A parsed ``placement.map``: cells, I/O ports, optional grid dims."""
+
+    cells: tuple[PlacedCell, ...]
+    io_ports: dict[str, Point] = field(default_factory=dict)
+    grid: tuple[int, int] | None = None
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.cells)
+
+    def sinks(self) -> list[PlacedCell]:
+        """Used clocked cells, in file order."""
+        return [c for c in self.cells if c.is_sink]
+
+    def free_buffers(self) -> list[PlacedCell]:
+        """Unused buffer/inverter cells, in file order."""
+        return [c for c in self.cells if c.is_free_buffer]
+
+
+def _num(token: str, path: object, lineno: int, what: str) -> float:
+    try:
+        value = float(token)
+    except ValueError:
+        raise FormatError(
+            f"{path}:{lineno}: {what} {token!r} is not a number"
+        ) from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise FormatError(
+            f"{path}:{lineno}: {what} {token!r} is not finite"
+        )
+    return value
+
+
+def parse_placement_map(path: str | Path) -> Placement:
+    """Parse a ``placement.map`` file (see module docstring).
+
+    Raises :class:`~repro.data.FormatError` on malformed cell lines,
+    non-numeric/non-finite coordinates, duplicate cell or port names,
+    duplicate ``grid`` lines, or a file with no cells at all.
+    """
+    cells: list[PlacedCell] = []
+    names: set[str] = set()
+    io_ports: dict[str, Point] = {}
+    grid: tuple[int, int] | None = None
+
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "->" in line:
+            left, _, mapped = line.partition("->")
+            mapped = mapped.strip()
+            tokens = left.split()
+            if len(tokens) != 4:
+                raise FormatError(
+                    f"{path}:{lineno}: fabric cell needs "
+                    f"'name type x y -> mapped', got {raw!r}"
+                )
+            if not mapped or len(mapped.split()) != 1:
+                raise FormatError(
+                    f"{path}:{lineno}: mapped cell must be one token, "
+                    f"got {mapped!r}"
+                )
+            name = tokens[0]
+            if name in names:
+                raise FormatError(
+                    f"{path}:{lineno}: duplicate cell name {name!r}"
+                )
+            names.add(name)
+            cells.append(
+                PlacedCell(
+                    name,
+                    tokens[1],
+                    _num(tokens[2], path, lineno, "x coordinate"),
+                    _num(tokens[3], path, lineno, "y coordinate"),
+                    mapped,
+                )
+            )
+            continue
+        tokens = line.split()
+        if tokens[0] == "grid":
+            if grid is not None:
+                raise FormatError(f"{path}:{lineno}: duplicate grid line")
+            if len(tokens) != 3:
+                raise FormatError(
+                    f"{path}:{lineno}: grid needs 'grid W H', got {raw!r}"
+                )
+            try:
+                grid = (int(tokens[1]), int(tokens[2]))
+            except ValueError:
+                raise FormatError(
+                    f"{path}:{lineno}: grid dims must be integers, "
+                    f"got {raw!r}"
+                ) from None
+            if grid[0] < 1 or grid[1] < 1:
+                raise FormatError(
+                    f"{path}:{lineno}: grid dims must be positive, "
+                    f"got {raw!r}"
+                )
+            continue
+        if len(tokens) != 3:
+            raise FormatError(
+                f"{path}:{lineno}: expected a fabric cell "
+                f"('name type x y -> mapped'), an I/O port ('name x y') "
+                f"or a 'grid W H' line, got {raw!r}"
+            )
+        port = tokens[0]
+        if port in io_ports:
+            raise FormatError(
+                f"{path}:{lineno}: duplicate I/O port {port!r}"
+            )
+        io_ports[port] = Point(
+            _num(tokens[1], path, lineno, "x coordinate"),
+            _num(tokens[2], path, lineno, "y coordinate"),
+        )
+
+    if not cells:
+        raise FormatError(f"{path}: no fabric cells found")
+    return Placement(tuple(cells), io_ports, grid)
+
+
+def save_placement_map(placement: Placement, path: str | Path) -> None:
+    """Write ``placement`` back out in ``placement.map`` format.
+
+    ``parse_placement_map(save_placement_map(p)) == p`` for every
+    placement whose coordinates survive ``repr(float)`` round-tripping
+    (all of them — Python reprs are shortest-exact).
+    """
+    lines: list[str] = []
+    if placement.grid is not None:
+        lines.append(f"grid {placement.grid[0]} {placement.grid[1]}")
+    for name, p in placement.io_ports.items():
+        lines.append(f"{name} {p.x!r} {p.y!r}")
+    for c in placement.cells:
+        lines.append(f"{c.name} {c.cell_type} {c.x!r} {c.y!r} -> {c.mapped}")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def _net_name(mapped: str) -> str:
+    """Clock-net grouping key: the first hierarchical component."""
+    return mapped.split(".", 1)[0] if "." in mapped else mapped
+
+
+def extract_clock_nets(
+    placement: Placement,
+    *,
+    max_sinks: int | None = None,
+    claim_buffers: bool = True,
+) -> list[ClockNet]:
+    """Group the placement's clocked cells into per-driver clock nets.
+
+    Sinks sharing a hierarchical prefix form one net, in first-seen
+    file order.  ``max_sinks`` splits oversize groups into ``name#0``,
+    ``name#1``, ... slices (file order within the group), bounding the
+    size of any single LUBT solve.  With ``claim_buffers`` each net
+    claims the free buffer cell nearest its sink centroid as driver
+    (each buffer at most once, nets processed in order); nets left
+    without a buffer get a synthetic tap at their centroid — mirroring
+    the H-tree CTS idiom of claiming the nearest unused resource to the
+    geometric center.
+
+    Duplicate sink coordinates within a net are dropped (two flops in
+    one grid slot cannot both anchor a Steiner constraint — TP007), and
+    single-sink groups are kept (a one-sink net is still a solve).
+    """
+    groups: dict[str, list[PlacedCell]] = {}
+    order: list[str] = []
+    for cell in placement.cells:
+        if not cell.is_sink:
+            continue
+        key = _net_name(cell.mapped)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(cell)
+
+    split: list[tuple[str, list[PlacedCell]]] = []
+    for key in order:
+        members = groups[key]
+        if max_sinks is not None and max_sinks >= 1 and (
+            len(members) > max_sinks
+        ):
+            for k, a in enumerate(range(0, len(members), max_sinks)):
+                split.append((f"{key}#{k}", members[a:a + max_sinks]))
+        else:
+            split.append((key, members))
+
+    import numpy as np
+
+    free = placement.free_buffers() if claim_buffers else []
+    buf_x = np.array([b.x for b in free], dtype=float)
+    buf_y = np.array([b.y for b in free], dtype=float)
+    available = np.ones(len(free), dtype=bool)
+    nets: list[ClockNet] = []
+    for name, members in split:
+        seen: set[tuple[float, float]] = set()
+        sinks: list[Point] = []
+        for cell in members:
+            xy = (cell.x, cell.y)
+            if xy in seen:
+                continue
+            seen.add(xy)
+            sinks.append(cell.location)
+        cx = sum(p.x for p in sinks) / len(sinks)
+        cy = sum(p.y for p in sinks) / len(sinks)
+        driver: str | None = None
+        source = Point(cx, cy)
+        if available.any():
+            dist = np.abs(buf_x - cx) + np.abs(buf_y - cy)
+            dist[~available] = np.inf
+            pick = int(np.argmin(dist))
+            available[pick] = False
+            driver = free[pick].name
+            source = free[pick].location
+        nets.append(ClockNet(name, source, tuple(sinks), driver))
+    return nets
+
+
+def synth_placement(
+    nets: int,
+    sinks_per_net: int,
+    seed: int,
+    *,
+    width: float = 14_000.0,
+    height: float = 14_000.0,
+    buffer_ratio: float = 0.25,
+) -> Placement:
+    """Seeded synthetic placement: ``nets`` clustered clock groups.
+
+    Each net's flops land in their own rectangular block of a
+    near-square block grid (hierarchical blocks are spatially local,
+    like a placed design), with one free buffer per ``1/buffer_ratio``
+    nets scattered over the die for the driver-claiming path.
+    Deterministic in ``(nets, sinks_per_net, seed)``; the result always
+    parses back equal through
+    :func:`save_placement_map`/:func:`parse_placement_map` and every
+    extracted net solves cleanly (coordinates are snapped to a grid and
+    deduplicated per block).
+    """
+    import numpy as np
+
+    if nets < 1 or sinks_per_net < 1:
+        raise ValueError("nets and sinks_per_net must be >= 1")
+    rng = np.random.default_rng(seed)
+    cols = int(np.ceil(np.sqrt(nets)))
+    rows = int(np.ceil(nets / cols))
+    bw, bh = width / cols, height / rows
+
+    cells: list[PlacedCell] = []
+    for k in range(nets):
+        bx, by = (k % cols) * bw, (k // cols) * bh
+        # Rejection-free dedup: sample on a per-block integer grid with
+        # more slots than flops, then place each chosen slot once.
+        slots = max(4 * sinks_per_net, 16)
+        side = int(np.ceil(np.sqrt(slots)))
+        chosen = rng.choice(side * side, size=sinks_per_net, replace=False)
+        for j, slot in enumerate(sorted(int(s) for s in chosen)):
+            sx = bx + (slot % side + 0.5) * bw / side
+            sy = by + (slot // side + 0.5) * bh / side
+            cells.append(
+                PlacedCell(
+                    f"cell_{k}_{j}",
+                    "DFFQX1",
+                    round(float(sx), 3),
+                    round(float(sy), 3),
+                    f"net{k:04d}.r{j}_reg",
+                )
+            )
+    n_buffers = max(1, int(nets * buffer_ratio))
+    for b in range(n_buffers):
+        cells.append(
+            PlacedCell(
+                f"buf_{b}",
+                "BUFX4",
+                round(float(rng.uniform(0, width)), 3),
+                round(float(rng.uniform(0, height)), 3),
+                UNUSED,
+            )
+        )
+    io_ports = {"clk": Point(0.0, round(height / 2, 3))}
+    return Placement(tuple(cells), io_ports, (cols, rows))

@@ -37,13 +37,18 @@ def synth_instance(
     kind: str = "uniform",
     lower: float = 0.8,
     upper: float = 1.2,
+    topology: str = "nn",
 ) -> tuple[Topology, DelayBounds]:
     """Build a seeded ``num_sinks``-sink instance with normalized bounds.
 
     ``kind`` selects the placement model (``"uniform"`` or
     ``"clustered"``); ``lower``/``upper`` are delay windows as multiples
-    of the topology radius (Tables 1-3 convention).  Deterministic in
-    ``(num_sinks, seed, kind)``.
+    of the topology radius (Tables 1-3 convention).  ``topology`` picks
+    the builder (any :data:`repro.topology.TOPOLOGY_KINDS` name) — the
+    default nearest-neighbor merge is O(m^2), so 10k-sink instances want
+    ``"htree"``, whose O(m log m) build keeps construction off the
+    critical path.  Deterministic in ``(num_sinks, seed, kind,
+    topology)``.
     """
     if num_sinks < 2:
         raise ValueError("synth instances need at least 2 sinks")
@@ -75,6 +80,11 @@ def synth_instance(
         )
 
     source = Point(_WIDTH / 2.0, _HEIGHT / 2.0)
-    topo = nearest_neighbor_topology(sinks, source)
+    if topology == "nn":
+        topo = nearest_neighbor_topology(sinks, source)
+    else:
+        from repro.topology import build_net_topology
+
+        topo = build_net_topology(sinks, source, kind=topology)
     bounds = DelayBounds.normalized(topo, lower, upper)
     return topo, bounds

@@ -20,6 +20,10 @@ item).
 * :class:`SolveJournal` — crash-safe JSONL checkpoint of completed
   solves keyed by canonical instance key; ``solve_many`` /
   ``solve_sweep_sharded`` take ``journal=`` to resume a killed batch;
+* :class:`BatchScheduler` — chunked dispatch over a resident pool with
+  EWMA-tuned chunk sizes and completion-ordered result streaming;
+* :func:`run_cts` — chip-scale multi-net clock-tree flow: a placement's
+  clock nets solved as one batch through the scheduler;
 * :class:`TaskOutcome` — per-task result/error/timeout/crash record.
 
 Serial (``jobs=1``, no timeout) execution runs inline in the parent
@@ -29,12 +33,18 @@ either path match exactly.
 """
 
 from repro.perf.pool import (
+    ChunkResult,
     PoolCrashLoopError,
     TaskError,
     TaskOutcome,
     WorkerPool,
     map_many,
     run_many,
+)
+from repro.perf.scheduler import (
+    DEFAULT_CHUNK_SECONDS,
+    DEFAULT_MAX_CHUNK,
+    BatchScheduler,
 )
 from repro.perf.journal import (
     JournalError,
@@ -48,8 +58,22 @@ from repro.perf.batch import (
     solve_sweep_sharded,
     sweep_chunks,
 )
+from repro.perf.cts import (
+    CtsNetResult,
+    CtsReport,
+    cts_tasks,
+    run_cts,
+)
 
 __all__ = [
+    "BatchScheduler",
+    "ChunkResult",
+    "CtsNetResult",
+    "CtsReport",
+    "cts_tasks",
+    "run_cts",
+    "DEFAULT_CHUNK_SECONDS",
+    "DEFAULT_MAX_CHUNK",
     "JournalError",
     "PoolCrashLoopError",
     "SolveJournal",

@@ -18,7 +18,12 @@ from repro.perf.journal import (
     solution_from_record,
     solution_to_record,
 )
-from repro.perf.pool import TaskOutcome, map_many, run_many
+from repro.perf.pool import TaskOutcome, WorkerPool, map_many
+from repro.perf.scheduler import (
+    DEFAULT_CHUNK_SECONDS,
+    DEFAULT_MAX_CHUNK,
+    BatchScheduler,
+)
 
 
 @dataclass(frozen=True)
@@ -55,61 +60,109 @@ def solve_many(
     timeout: float | None = None,
     start_method: str | None = None,
     journal: SolveJournal | None = None,
+    pool: WorkerPool | None = None,
+    on_result: Any = None,
+    chunk_seconds: float = DEFAULT_CHUNK_SECONDS,
+    max_chunk: int = DEFAULT_MAX_CHUNK,
 ) -> list[TaskOutcome]:
     """Solve every task; outcomes come back in task order.
 
     ``outcome.value`` is the :class:`~repro.ebf.LubtSolution` on success;
     ``outcome.unwrap()`` raises :class:`~repro.perf.TaskError` on worker
-    failure or timeout.  ``jobs=1`` with no timeout runs inline and is
-    bit-for-bit identical to a serial loop of ``solve_lubt`` calls.
+    failure or timeout.  ``jobs=1`` with no timeout (and no ``pool``)
+    runs inline and is bit-for-bit identical to a serial loop of
+    ``solve_lubt`` calls.
+
+    Parallel batches run on a **resident** :class:`~repro.perf.WorkerPool`
+    (pass ``pool=`` to reuse one across batches — e.g. a whole CTS run —
+    otherwise one is forked for the call) through the chunked
+    :class:`~repro.perf.BatchScheduler`: many tasks per IPC message with
+    the chunk size auto-tuned from an EWMA of per-task solve seconds
+    (``chunk_seconds``/``max_chunk``), results streaming back per
+    completion.  A per-task ``timeout`` kills only the offending task's
+    worker; the rest of its chunk is resubmitted.
+
+    ``on_result(outcome)`` — when given — fires once per task in
+    completion order (journal replays first, then live completions as
+    they land); ``outcome.index`` is the task's position in ``tasks``.
 
     With a ``journal`` (:class:`~repro.perf.SolveJournal`), tasks whose
     canonical instance key already has a journal record are *replayed*
-    instead of re-solved, and fresh successes are durably appended as
-    the batch progresses (one fsync'd record per solve, committed in
-    waves of ``jobs`` tasks) — so a run killed mid-batch resumes from
-    its last completed wave instead of from zero.  Failed/timed-out
-    tasks are never journaled; a resume retries them.
+    instead of re-solved, and every fresh success is durably appended
+    (flush + fsync) **the moment it completes** — no wave barrier, so a
+    straggler cannot hold completed solves out of the journal, and a run
+    killed mid-batch resumes from its last completed *solve*.
+    Failed/timed-out tasks are never journaled; a resume retries them.
     """
-    if journal is None:
-        return run_many(
-            _solve_task,
-            [(t,) for t in tasks],
-            jobs=jobs,
-            timeout=timeout,
-            start_method=start_method,
-        )
-
     tasks = list(tasks)
-    keys = [_task_key(t.topo, t.bounds, t.options) for t in tasks]
-    done = journal.load()
     results: list[TaskOutcome | None] = [None] * len(tasks)
-    fresh: list[int] = []
-    for i, t in enumerate(tasks):
-        rec = done.get(keys[i])
-        if rec is not None:
-            results[i] = TaskOutcome(
-                i, True, solution_from_record(rec, t.topo, t.bounds)
-            )
-            journal.replayed += 1
-        else:
-            fresh.append(i)
-    for wave in _waves(fresh, max(1, jobs)):
-        outcomes = run_many(
-            _solve_task,
-            [(tasks[i],) for i in wave],
-            jobs=jobs,
-            timeout=timeout,
-            start_method=start_method,
+    fresh: list[int] = list(range(len(tasks)))
+
+    keys: list[str] | None = None
+    done: dict[str, dict] = {}
+    if journal is not None:
+        keys = [_task_key(t.topo, t.bounds, t.options) for t in tasks]
+        done = journal.load()
+        fresh = []
+        for i, t in enumerate(tasks):
+            rec = done.get(keys[i])
+            if rec is not None:
+                results[i] = TaskOutcome(
+                    i, True, solution_from_record(rec, t.topo, t.bounds)
+                )
+                journal.replayed += 1
+                if on_result is not None:
+                    on_result(results[i])
+            else:
+                fresh.append(i)
+
+    def _completed(i: int, o: TaskOutcome) -> None:
+        out = TaskOutcome(
+            i, o.ok, o.value, o.error, o.timed_out, o.crashed, o.elapsed
         )
-        for i, o in zip(wave, outcomes):
-            results[i] = TaskOutcome(
-                i, o.ok, o.value, o.error, o.timed_out, o.crashed, o.elapsed
+        results[i] = out
+        if journal is not None and o.ok and keys[i] not in done:
+            rec = solution_to_record(o.value)
+            journal.append(keys[i], rec)
+            done[keys[i]] = rec
+        if on_result is not None:
+            on_result(out)
+
+    inline = jobs == 1 and timeout is None and pool is None
+    if inline:
+        import time as time_mod
+
+        for i in fresh:
+            t0 = time_mod.perf_counter()
+            try:
+                out = TaskOutcome(
+                    i, True, _solve_task(tasks[i]),
+                    elapsed=time_mod.perf_counter() - t0,
+                )
+            except Exception as exc:  # noqa: BLE001 — outcome boundary
+                out = TaskOutcome(
+                    i, False, error=f"{type(exc).__name__}: {exc}",
+                    elapsed=time_mod.perf_counter() - t0,
+                )
+            _completed(i, out)
+    elif fresh:
+        own_pool = pool is None
+        active = pool if pool is not None else WorkerPool(
+            jobs, start_method
+        )
+        try:
+            scheduler = BatchScheduler(
+                active, chunk_seconds=chunk_seconds, max_chunk=max_chunk
             )
-            if o.ok and keys[i] not in done:
-                rec = solution_to_record(o.value)
-                journal.append(keys[i], rec)
-                done[keys[i]] = rec
+            scheduler.run(
+                _solve_task,
+                [(tasks[i],) for i in fresh],
+                timeout=timeout,
+                on_result=lambda o: _completed(fresh[o.index], o),
+            )
+        finally:
+            if own_pool:
+                active.close()
     assert all(r is not None for r in results)
     return results  # type: ignore[return-value]
 

@@ -11,6 +11,7 @@ are returned in submission order.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import time
 import traceback
 from dataclasses import dataclass
@@ -62,6 +63,26 @@ class TaskOutcome:
             else "failed"
         )
         raise TaskError(f"task {self.index} {kind}: {self.error}")
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """Result of :meth:`WorkerPool.submit_chunk`.
+
+    ``outcomes[i]`` is the :class:`TaskOutcome` for chunk item ``i``, or
+    ``None`` for a *survivor*: an item the worker never got to because an
+    earlier item in the chunk timed out or crashed the worker.  The kill
+    is scoped to the offending item only — ``pending`` names the
+    survivors so the caller can resubmit exactly those, not the whole
+    chunk.
+    """
+
+    outcomes: tuple
+    pending: tuple[int, ...]
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o is not None)
 
 
 def _args_preview(args: tuple, limit: int = 120) -> str:
@@ -257,16 +278,68 @@ def map_many(
     return [o.unwrap() for o in outcomes]
 
 
+#: First element of a chunk message to a resident worker.  Chunks stream
+#: one reply per item (plus a trailing ``("end", n)``) so the parent can
+#: journal/forward each completion without waiting for the whole chunk.
+_CHUNK_TAG = "__chunk__"
+
+
+def _run_chunk_items(conn, fn, args_list) -> bool:
+    """Run a chunk on a resident worker, streaming per-item replies.
+
+    Each item becomes ``("item", i, "ok"|"err", payload, elapsed)`` the
+    moment it finishes; a trailing ``("end", n)`` closes the chunk.
+    Returns False when the parent pipe died (the worker should exit).
+    """
+    for i, args in enumerate(args_list):
+        t0 = time.perf_counter()
+        try:
+            value = fn(*args)
+            reply = ("item", i, "ok", value, time.perf_counter() - t0)
+        except BaseException as exc:  # noqa: BLE001 — boundary to the parent
+            reply = (
+                "item", i, "err",
+                f"{type(exc).__name__}: {exc}\n"
+                f"{traceback.format_exc(limit=5)}",
+                time.perf_counter() - t0,
+            )
+        try:
+            conn.send(reply)
+        except Exception:  # noqa: BLE001 — parent may already be gone
+            return False
+    try:
+        conn.send(("end", len(args_list)))
+    except Exception:  # noqa: BLE001 — parent may already be gone
+        return False
+    return True
+
+
 def _resident_worker_main(conn) -> None:
     """Loop of one resident :class:`WorkerPool` worker: receive
-    ``(fn, args)``, run, reply — until a ``None`` sentinel or EOF."""
+    ``(fn, args)`` or ``(_CHUNK_TAG, fn, args_list)``, run, reply —
+    until a ``None`` sentinel, EOF, or parent death.
+
+    The explicit parent check matters: sibling workers forked later
+    inherit this worker's parent-side pipe end, so if the parent is
+    SIGKILLed the pipe never EOFs (the siblings still hold it open) and
+    a recv-only loop would orphan every worker forever.
+    """
+    parent = os.getppid()
     while True:
         try:
+            while not conn.poll(1.0):
+                if os.getppid() != parent:
+                    return  # re-parented: the pool's process is gone
             msg = conn.recv()
         except (EOFError, OSError):
             break
         if msg is None:
             break
+        if msg[0] == _CHUNK_TAG:
+            _, fn, args_list = msg
+            if not _run_chunk_items(conn, fn, args_list):
+                break
+            continue
         fn, args = msg
         try:
             conn.send(("ok", fn(*args)))
@@ -285,7 +358,7 @@ def _resident_worker_main(conn) -> None:
 
 
 class _ResidentWorker:
-    __slots__ = ("proc", "conn")
+    __slots__ = ("proc", "conn", "tasks_done")
 
     def __init__(self, ctx):
         self.conn, child_conn = ctx.Pipe(duplex=True)
@@ -294,6 +367,9 @@ class _ResidentWorker:
         )
         self.proc.start()
         child_conn.close()
+        #: Tasks this worker has been handed (submit counts 1, a chunk
+        #: counts its length) — drives the pool_reuse counter.
+        self.tasks_done = 0
 
     def stop(self, kill: bool = False) -> None:
         if kill:
@@ -358,10 +434,26 @@ class WorkerPool:
         self._consecutive_crashes = 0
         self.tasks_run = 0
         self.workers_replaced = 0
+        #: Tasks served by a worker that had already run at least one —
+        #: the fork-once payoff.  ``tasks_run - pool_reuse`` is the number
+        #: of cold (first-task) dispatches, at most ``jobs`` plus one per
+        #: replacement.
+        self.pool_reuse = 0
 
     @property
     def jobs(self) -> int:
         return self._jobs
+
+    def stats(self) -> dict:
+        """Counters snapshot: ``jobs``, ``tasks_run``, ``pool_reuse``,
+        ``workers_replaced``."""
+        with self._lock:
+            return {
+                "jobs": self._jobs,
+                "tasks_run": self.tasks_run,
+                "pool_reuse": self.pool_reuse,
+                "workers_replaced": self.workers_replaced,
+            }
 
     def submit(
         self, fn: Callable, args: tuple = (), *, timeout: float | None = None
@@ -382,10 +474,13 @@ class WorkerPool:
         try:
             with self._lock:
                 worker = self._idle.pop()
+            reused = worker.tasks_done > 0
             outcome, worker = self._run_on(worker, fn, args, timeout)
             with self._lock:
                 self._idle.append(worker)
                 self.tasks_run += 1
+                if reused:
+                    self.pool_reuse += 1
                 if outcome.crashed:
                     self._consecutive_crashes += 1
                     streak = self._consecutive_crashes
@@ -411,6 +506,9 @@ class WorkerPool:
             # The worker died while idle; replace it and retry once.
             worker = self._replace(worker)
             worker.conn.send((fn, args))
+        # Dispatch-time accounting: the worker that received the message
+        # owns the count (a mid-task replacement starts back at 0/cold).
+        worker.tasks_done += 1
         if not worker.conn.poll(timeout):
             worker = self._replace(worker, kill=True)
             return TaskOutcome(
@@ -439,6 +537,183 @@ class WorkerPool:
         return TaskOutcome(
             0, False, error=payload, crashed=crashed, elapsed=elapsed
         ), worker
+
+    def submit_chunk(
+        self,
+        fn: Callable,
+        args_list: Sequence[tuple],
+        *,
+        timeout: float | None = None,
+        on_item: Callable | None = None,
+    ) -> ChunkResult:
+        """Run a chunk of tasks on *one* resident worker with one IPC send.
+
+        The worker runs the items in order and streams one reply per
+        item; ``on_item(outcome)`` (when given) fires from the calling
+        thread the moment an item's reply arrives (``outcome.index`` is
+        the chunk position) — this is what lets
+        a batch driver journal every completion without waiting for the
+        chunk, let alone the batch.
+
+        ``timeout`` is **per item**, measured from the previous item's
+        reply.  When it expires, only the item the worker is currently
+        running is marked ``timed_out`` (the worker is killed and its
+        seat refilled); items that already finished keep their outcomes
+        and the not-yet-started survivors come back as ``None`` with
+        their indices in :attr:`ChunkResult.pending`, so the caller
+        resubmits exactly those — not the whole chunk.  A worker crash
+        mid-chunk is scoped the same way.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        args_list = list(args_list)
+        if not args_list:
+            return ChunkResult((), ())
+        self._free.acquire()
+        try:
+            with self._lock:
+                worker = self._idle.pop()
+            reused = worker.tasks_done > 0
+            outcomes, worker, offender_crashed = self._run_chunk_on(
+                worker, fn, args_list, timeout, on_item
+            )
+            completed = sum(1 for o in outcomes if o is not None)
+            with self._lock:
+                self._idle.append(worker)
+                self.tasks_run += completed
+                self.pool_reuse += max(0, completed - (0 if reused else 1))
+                if offender_crashed:
+                    self._consecutive_crashes += 1
+                    streak = self._consecutive_crashes
+                else:
+                    self._consecutive_crashes = 0
+                    streak = 0
+            if offender_crashed and streak >= self._max_consecutive_crashes:
+                fn_name = getattr(fn, "__name__", repr(fn))
+                raise PoolCrashLoopError(
+                    f"workers crashed {streak} times in a row "
+                    f"(cap {self._max_consecutive_crashes}); last task: "
+                    f"{fn_name}{_args_preview(args_list[completed - 1])}"
+                )
+            pending = tuple(
+                i for i, o in enumerate(outcomes) if o is None
+            )
+            return ChunkResult(tuple(outcomes), pending)
+        finally:
+            self._free.release()
+
+    def _run_chunk_on(self, worker, fn, args_list, timeout, on_item):
+        """Stream one chunk through ``worker``; returns
+        ``(outcomes, worker, offender_crashed)`` with ``None`` outcomes
+        for survivors the worker never started."""
+        n = len(args_list)
+        outcomes: list[TaskOutcome | None] = [None] * n
+        started = time.perf_counter()
+        try:
+            worker.conn.send((_CHUNK_TAG, fn, args_list))
+        except (OSError, ValueError):
+            # The worker died while idle; replace it and retry once.
+            worker = self._replace(worker)
+            worker.conn.send((_CHUNK_TAG, fn, args_list))
+        worker.tasks_done += n  # dispatch-time accounting, as in _run_on
+        next_item = 0  # first index the worker has not reported yet
+        while True:
+            if not worker.conn.poll(timeout):
+                # The worker is stuck on `next_item` (items run in
+                # order); kill it and leave the rest pending.
+                worker = self._replace(worker, kill=True)
+                outcomes[next_item] = TaskOutcome(
+                    next_item, False, timed_out=True,
+                    elapsed=timeout if timeout is not None else 0.0,
+                    error=f"exceeded {timeout:g}s wall clock (worker "
+                          f"killed; {n - next_item - 1} chunk "
+                          f"survivor(s) left pending)",
+                )
+                if on_item is not None:
+                    on_item(outcomes[next_item])
+                return outcomes, worker, False
+            try:
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                crashed_elapsed = time.perf_counter() - started
+                worker.proc.join()
+                outcomes[next_item] = TaskOutcome(
+                    next_item, False, crashed=True,
+                    elapsed=crashed_elapsed,
+                    error=f"worker died without a result (exit code "
+                          f"{worker.proc.exitcode}; {n - next_item - 1} "
+                          f"chunk survivor(s) left pending)",
+                )
+                worker = self._replace(worker)
+                if on_item is not None:
+                    on_item(outcomes[next_item])
+                return outcomes, worker, True
+            except Exception as exc:  # noqa: BLE001 — undecodable payload:
+                # the pipe's framing can no longer be trusted, so the
+                # worker is retired and the survivors left pending.
+                worker = self._replace(worker, kill=True)
+                outcomes[next_item] = TaskOutcome(
+                    next_item, False,
+                    elapsed=time.perf_counter() - started,
+                    error=f"undecodable worker payload: "
+                          f"{type(exc).__name__}: {exc}",
+                )
+                if on_item is not None:
+                    on_item(outcomes[next_item])
+                return outcomes, worker, False
+            if msg[0] == "end":
+                break
+            _, i, kind, payload, elapsed = msg
+            if kind == "ok":
+                outcomes[i] = TaskOutcome(i, True, payload, elapsed=elapsed)
+            else:
+                outcomes[i] = TaskOutcome(
+                    i, False, error=payload, elapsed=elapsed
+                )
+            next_item = i + 1
+            if on_item is not None:
+                on_item(outcomes[i])
+        return outcomes, worker, False
+
+    def imap_unordered(
+        self,
+        fn: Callable,
+        args_list: Sequence[tuple],
+        *,
+        timeout: float | None = None,
+    ):
+        """Yield :class:`TaskOutcome` records in **completion order**.
+
+        ``outcome.index`` is the submission index, so callers can match
+        results to inputs while still acting on each completion as it
+        lands (journal appends, progress, early aborts).  Abandoning the
+        generator early blocks until the in-flight submissions finish.
+        """
+        import queue as queue_mod
+        from concurrent.futures import ThreadPoolExecutor
+
+        args_list = list(args_list)
+        done: queue_mod.Queue = queue_mod.Queue()
+
+        def _one(i: int, args: tuple) -> None:
+            try:
+                o = self.submit(fn, args, timeout=timeout)
+                done.put(TaskOutcome(i, o.ok, o.value, o.error,
+                                     o.timed_out, o.crashed, o.elapsed))
+            except BaseException as exc:  # noqa: BLE001 — re-raised below
+                done.put(exc)
+
+        tpe = ThreadPoolExecutor(max_workers=self._jobs)
+        try:
+            for i, args in enumerate(args_list):
+                tpe.submit(_one, i, args)
+            for _ in range(len(args_list)):
+                item = done.get()
+                if isinstance(item, BaseException):
+                    raise item
+                yield item
+        finally:
+            tpe.shutdown(wait=True)
 
     def _replace(self, worker, kill: bool = False) -> _ResidentWorker:
         worker.stop(kill=kill)

@@ -30,6 +30,13 @@ from repro.topology.guided import (
     bounds_guided_topology,
     balance_aware_topology,
 )
+from repro.topology.htree import (
+    AUTO_BIPARTITION_MAX_SINKS,
+    AUTO_NN_MAX_SINKS,
+    TOPOLOGY_KINDS,
+    build_net_topology,
+    htree_topology,
+)
 from repro.topology.serialize import (
     topology_to_dict,
     topology_from_dict,
@@ -53,6 +60,11 @@ __all__ = [
     "all_sinks_are_leaves",
     "bounds_guided_topology",
     "balance_aware_topology",
+    "AUTO_BIPARTITION_MAX_SINKS",
+    "AUTO_NN_MAX_SINKS",
+    "TOPOLOGY_KINDS",
+    "build_net_topology",
+    "htree_topology",
     "topology_to_dict",
     "topology_from_dict",
     "topology_hash",

@@ -1,0 +1,119 @@
+"""Recursive H-tree topologies and per-net builder dispatch.
+
+An H-tree recursively bisects the die at the geometric center of the
+current region, alternating cut axes — the classic CTS skeleton, here
+encoded as a full binary tree (each H level is two alternating binary
+cuts).  Like the paper's nearest-neighbor generator, every sink is a
+leaf, so Lemma 3.1 guarantees LUBT feasibility for any valid bounds;
+unlike it, construction is O(m log m)-ish top-down and produces the
+spatially balanced trunk structure a chip-scale clock net wants.
+
+:func:`build_net_topology` is the per-net dispatcher the CTS driver
+uses: nearest-neighbor merge for small nets (best quality, O(m^2)
+merge), balanced bipartition for mid-size nets, H-tree for large ones —
+selectable explicitly or by sink count with ``kind="auto"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.topology.builders import (
+    balanced_bipartition_topology,
+    binary_merge_tree,
+    nearest_neighbor_topology,
+)
+from repro.topology.tree import Topology
+
+#: ``kind="auto"`` thresholds: nets up to this many sinks use the
+#: nearest-neighbor merge ...
+AUTO_NN_MAX_SINKS = 32
+#: ... up to this many the balanced bipartition, beyond it the H-tree.
+AUTO_BIPARTITION_MAX_SINKS = 256
+
+#: Builder names accepted by :func:`build_net_topology`.
+TOPOLOGY_KINDS = ("auto", "nn", "bipartition", "htree")
+
+
+def htree_topology(
+    sinks: list[Point], source: Point | None = None
+) -> Topology:
+    """Recursive H-tree over ``sinks`` (full binary, all sinks leaves).
+
+    Each recursion cuts the current sink set at the geometric center of
+    its bounding box, alternating axes, starting across the wider span.
+    A cut that separates nothing (every sink on one side — collinear or
+    coincident points, or a span collapsed to zero) falls back to a
+    stable median split on the same axis, so the recursion always
+    terminates with depth O(log m + float-span bits).  Steiner point
+    locations are left to the LP, as everywhere else in the repro — the
+    topology only fixes the H-tree's *connectivity*.
+    """
+    m = len(sinks)
+    if m == 0:
+        raise ValueError("cannot build a topology over zero sinks")
+    if m == 1:
+        return Topology([None, 0], 1, sinks, source)
+
+    xs = np.array([p.x for p in sinks], dtype=float)
+    ys = np.array([p.y for p in sinks], dtype=float)
+    merges: list[tuple[int, int]] = []
+    next_internal = [m]
+
+    def cut(indices: np.ndarray, vertical: bool) -> int:
+        if len(indices) == 1:
+            return int(indices[0])
+        key = xs[indices] if vertical else ys[indices]
+        mid = (float(key.max()) + float(key.min())) / 2.0
+        left_mask = key <= mid
+        left, right = indices[left_mask], indices[~left_mask]
+        if len(left) == 0 or len(right) == 0:
+            order = indices[np.argsort(key, kind="stable")]
+            half = len(order) // 2
+            left, right = order[:half], order[half:]
+        lt = cut(left, not vertical)
+        rt = cut(right, not vertical)
+        token = next_internal[0]
+        next_internal[0] += 1
+        merges.append((lt, rt))
+        return token
+
+    span_x = float(xs.max() - xs.min())
+    span_y = float(ys.max() - ys.min())
+    cut(np.arange(m), span_x >= span_y)
+    topo, _ = binary_merge_tree(sinks, merges, source)
+    return topo
+
+
+def build_net_topology(
+    sinks: list[Point],
+    source: Point | None = None,
+    *,
+    kind: str = "auto",
+) -> Topology:
+    """Build one net's topology with the builder suited to its size.
+
+    ``kind``: ``"nn"`` (nearest-neighbor merge), ``"bipartition"``
+    (balanced median bipartition), ``"htree"``, or ``"auto"`` — by sink
+    count: nn up to :data:`AUTO_NN_MAX_SINKS`, bipartition up to
+    :data:`AUTO_BIPARTITION_MAX_SINKS`, H-tree beyond.  Every builder
+    returns a full binary tree with all sinks as leaves.
+    """
+    if kind == "auto":
+        m = len(sinks)
+        if m <= AUTO_NN_MAX_SINKS:
+            kind = "nn"
+        elif m <= AUTO_BIPARTITION_MAX_SINKS:
+            kind = "bipartition"
+        else:
+            kind = "htree"
+    if kind == "nn":
+        return nearest_neighbor_topology(sinks, source)
+    if kind == "bipartition":
+        return balanced_bipartition_topology(sinks, source)
+    if kind == "htree":
+        return htree_topology(sinks, source)
+    raise ValueError(
+        f"unknown topology kind {kind!r} (expected one of {TOPOLOGY_KINDS})"
+    )

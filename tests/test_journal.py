@@ -151,6 +151,116 @@ class TestSolveManyResume:
         ]
 
 
+class TestPerCompletionAppends:
+    """Journal appends are per *completion*, not per wave: every
+    ``on_result`` callback observes its own solve already fsynced."""
+
+    def test_appends_track_completions_one_to_one(self, tmp_path):
+        tasks = tasks_for(
+            size=10,
+            windows=(
+                (0.8, 1.3), (0.9, 1.2), (0.85, 1.25),
+                (0.7, 1.4), (0.75, 1.35), (0.95, 1.15),
+            ),
+        )
+        appended_at_callback = []
+        with SolveJournal(tmp_path / "j.jsonl") as j:
+            solve_many(
+                tasks,
+                jobs=2,
+                journal=j,
+                on_result=lambda o: appended_at_callback.append(j.appended),
+            )
+        # With the old wave barrier the journal lagged completions by up
+        # to ``jobs``; per-completion appends mean the k-th completion
+        # sees exactly k records durable.
+        assert appended_at_callback == list(range(1, len(tasks) + 1))
+
+    def test_straggler_cannot_hold_back_finished_solves(self, tmp_path):
+        # One deliberately larger net among quick ones: the small nets'
+        # records must be in the journal before the straggler completes.
+        straggler = tasks_for(size=26, windows=((0.8, 1.3),))
+        quick = tasks_for(size=8, windows=((0.8, 1.3), (0.9, 1.2)))
+        tasks = straggler + quick
+        seen = {}
+        with SolveJournal(tmp_path / "j.jsonl") as j:
+            solve_many(
+                tasks,
+                jobs=2,
+                journal=j,
+                on_result=lambda o: seen.setdefault(o.index, j.appended),
+            )
+            assert j.appended == 3
+        # Whenever the straggler landed, every earlier completion was
+        # already journaled (its recorded appended count says so).
+        order = sorted(seen, key=seen.get)
+        for rank, i in enumerate(order):
+            assert seen[i] == rank + 1
+
+
+KILL_MANY_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    sys.path.insert(0, {src!r})
+    sys.path.insert(0, {tests!r})
+    from test_journal import tasks_for, EIGHT_WINDOWS
+    from repro.perf import SolveJournal, solve_many
+
+    # Die the hard way right after the N-th per-completion fsync lands,
+    # mid-batch on a jobs=2 pooled run.
+    N = int(sys.argv[2])
+    with SolveJournal(sys.argv[1]) as j:
+        original = j.append
+        def append_then_maybe_die(key, result):
+            original(key, result)
+            if j.appended >= N:
+                import os, signal
+                os.kill(os.getpid(), signal.SIGKILL)
+        j.append = append_then_maybe_die
+        solve_many(tasks_for(size=10, windows=EIGHT_WINDOWS), jobs=2,
+                   journal=j)
+    """
+)
+
+#: Eight distinct windows so the killed jobs=2 batch has plenty of
+#: not-yet-journaled work left at solve #3.
+EIGHT_WINDOWS = (
+    (0.80, 1.30), (0.90, 1.20), (0.85, 1.25), (0.70, 1.40),
+    (0.75, 1.35), (0.95, 1.15), (0.65, 1.45), (0.60, 1.50),
+)
+
+
+class TestKillResumeSolveGranularity:
+    """SIGKILL a jobs=2 pooled batch after exactly N per-completion
+    appends: the resume must replay exactly those N solves — per-*solve*
+    granularity, not the old per-wave one."""
+
+    def test_resume_replays_exactly_the_fsynced_solves(self, tmp_path):
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        tests = str(Path(__file__).resolve().parent)
+        path = tmp_path / "kill_many.jsonl"
+        script = KILL_MANY_SCRIPT.format(src=src, tests=tests)
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(path), "3"],
+            capture_output=True,
+            timeout=600,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        assert len(SolveJournal(path).load()) == 3
+
+        tasks = tasks_for(size=10, windows=EIGHT_WINDOWS)
+        with SolveJournal(path) as j:
+            resumed = solve_many(tasks, jobs=2, journal=j)
+            # Exactly the three fsynced solves replay; the other five
+            # run fresh.  A wave barrier would have journaled 2 or 4.
+            assert j.replayed == 3 and j.appended == 5
+        baseline = solve_many(tasks)
+        for a, b in zip(resumed, baseline):
+            sa, sb = a.unwrap(), b.unwrap()
+            assert sa.cost == sb.cost
+            assert list(sa.edge_lengths) == list(sb.edge_lengths)
+
+
 KILL_SCRIPT = textwrap.dedent(
     """
     import sys

@@ -11,6 +11,7 @@ from repro.ebf import DelayBounds
 from repro.experiments import render_table3, run_table3
 from repro.geometry import manhattan_radius_from
 from repro.perf import (
+    BatchScheduler,
     PoolCrashLoopError,
     SolveTask,
     TaskError,
@@ -202,6 +203,166 @@ class TestWorkerPool:
     def test_jobs_validation(self):
         with pytest.raises(ValueError):
             WorkerPool(jobs=0)
+
+
+def _sleep_if_three(x):
+    if x == 3:
+        time.sleep(300)
+    return x * 10
+
+
+class TestSubmitChunk:
+    """Chunked dispatch: many tasks per IPC message, per-item replies,
+    and timeout kills scoped to the offending item only."""
+
+    def test_chunk_runs_all_items_in_order(self):
+        with WorkerPool(jobs=1) as pool:
+            res = pool.submit_chunk(_square, [(i,) for i in range(6)])
+        assert res.pending == ()
+        assert [o.unwrap() for o in res.outcomes] == [i * i for i in range(6)]
+        assert [o.index for o in res.outcomes] == list(range(6))
+
+    def test_chunk_counts_as_reuse_not_one_task(self):
+        with WorkerPool(jobs=1) as pool:
+            pool.submit_chunk(_square, [(i,) for i in range(5)])
+            stats = pool.stats()
+        assert stats["tasks_run"] == 5
+        # One fork served five tasks: four dispatches reused a warm seat.
+        assert stats["pool_reuse"] == 4
+
+    def test_item_exception_does_not_poison_the_chunk(self):
+        with WorkerPool(jobs=1) as pool:
+            res = pool.submit_chunk(_fail, [(1,)])
+            assert not res.outcomes[0].ok
+            assert "bad input 1" in res.outcomes[0].error
+            # Same worker keeps serving — an exception is a payload,
+            # not a crash.
+            assert pool.submit(_square, (3,)).unwrap() == 9
+        assert pool.workers_replaced == 0
+
+    def test_timeout_is_scoped_to_the_offending_item(self):
+        args = [(i,) for i in range(6)]  # item 3 hangs
+        with WorkerPool(jobs=1) as pool:
+            t0 = time.perf_counter()
+            res = pool.submit_chunk(_sleep_if_three, args, timeout=0.5)
+            wall = time.perf_counter() - t0
+        assert wall < 30.0
+        done = [o for o in res.outcomes if o is not None and o.ok]
+        # Items 0-2 finished before the hang and keep their results...
+        assert [o.unwrap() for o in done] == [0, 10, 20]
+        # ...item 3 alone is the timeout...
+        offender = res.outcomes[3]
+        assert offender.timed_out and not offender.ok
+        # ...and 4-5 come back as pending survivors, not casualties.
+        assert res.pending == (4, 5)
+        assert pool.workers_replaced == 1
+
+    def test_streaming_callback_fires_per_item(self):
+        seen = []
+        with WorkerPool(jobs=1) as pool:
+            pool.submit_chunk(
+                _square,
+                [(i,) for i in range(4)],
+                on_item=lambda o: seen.append(o.index),
+            )
+        assert seen == [0, 1, 2, 3]  # one worker runs items in order
+
+    def test_mid_chunk_crash_marks_offender_only(self):
+        res_args = [(0,), (1,), (2,)]  # _crash_or_square dies on 1
+        with WorkerPool(jobs=1) as pool:
+            res = pool.submit_chunk(_crash_or_square, res_args)
+            assert res.outcomes[0].unwrap() == 0
+            assert res.outcomes[1].crashed
+            assert res.pending == (2,)
+            # The seat was refilled; the pool keeps serving.
+            assert pool.submit(_square, (5,)).unwrap() == 25
+        assert pool.workers_replaced == 1
+
+
+class TestImapUnordered:
+    def test_yields_every_result_with_original_index(self):
+        with WorkerPool(jobs=2) as pool:
+            got = sorted(
+                (o.index, o.unwrap())
+                for o in pool.imap_unordered(_square, [(i,) for i in range(8)])
+            )
+        assert got == [(i, i * i) for i in range(8)]
+
+    def test_fast_tasks_stream_past_slow_ones(self):
+        order = []
+        with WorkerPool(jobs=2) as pool:
+            for o in pool.imap_unordered(
+                time.sleep, [(0.5,), (0.01,), (0.01,)]
+            ):
+                order.append(o.index)
+        # The 0.5s sleeper lands last despite being submitted first.
+        assert order[-1] == 0
+
+
+class TestPoolStats:
+    def test_reuse_counts_warm_dispatches(self):
+        with WorkerPool(jobs=1) as pool:
+            first = pool.stats()
+            assert first["pool_reuse"] == 0
+            for _ in range(4):
+                pool.submit(_square, (2,))
+            stats = pool.stats()
+        assert stats["tasks_run"] == 4
+        assert stats["pool_reuse"] == 3  # every dispatch after the first
+        assert stats["workers_replaced"] == 0
+        assert stats["jobs"] == 1
+
+    def test_replacement_resets_the_seat_cold(self):
+        with WorkerPool(jobs=1) as pool:
+            pool.submit(_square, (2,))
+            pool.submit(_die_without_payload, (7,))
+            pool.submit(_square, (2,))  # fresh fork: not a reuse
+            stats = pool.stats()
+        assert stats["workers_replaced"] == 1
+        assert stats["pool_reuse"] == 1  # only the second _square reused
+
+
+class TestBatchScheduler:
+    def test_run_returns_ordered_outcomes(self):
+        with WorkerPool(jobs=2) as pool:
+            sched = BatchScheduler(pool)
+            outs = sched.run(_square, [(i,) for i in range(40)])
+        assert [o.unwrap() for o in outs] == [i * i for i in range(40)]
+        assert [o.index for o in outs] == list(range(40))
+
+    def test_chunks_grow_from_ewma(self):
+        with WorkerPool(jobs=1) as pool:
+            sched = BatchScheduler(pool, chunk_seconds=0.5)
+            sched.run(_square, [(i,) for i in range(64)])
+            stats = sched.stats()
+        # Fast tasks -> the EWMA drives chunks far beyond size-1 probes,
+        # so 64 tasks take far fewer than 64 dispatches.
+        assert stats["tasks_done"] == 64
+        assert stats["chunks_dispatched"] < 32
+        assert stats["pool_reuse"] >= 63 - stats["chunks_dispatched"]
+
+    def test_timeout_survivors_are_resubmitted(self):
+        with WorkerPool(jobs=1) as pool:
+            sched = BatchScheduler(pool, chunk_seconds=5.0)
+            outs = sched.run(
+                _sleep_if_three, [(i,) for i in range(6)], timeout=1.0
+            )
+            stats = sched.stats()
+        assert [o.ok for o in outs] == [True] * 3 + [False] + [True] * 2
+        assert outs[3].timed_out
+        # Items 4-5 were survivors of the killed chunk and re-ran.
+        assert [o.unwrap() for o in outs if o.ok] == [0, 10, 20, 40, 50]
+        assert stats["resubmitted"] >= 1
+
+    def test_completion_callback_sees_every_task_once(self):
+        seen = []
+        with WorkerPool(jobs=2) as pool:
+            BatchScheduler(pool).run(
+                _square,
+                [(i,) for i in range(20)],
+                on_result=lambda o: seen.append(o.index),
+            )
+        assert sorted(seen) == list(range(20))
 
 
 class TestExperimentJobs:

@@ -1,0 +1,233 @@
+"""The placement.map layer: parse/save round-trips, typed FormatErrors
+on every malformation, clock-net extraction, and the seeded synthesizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import FormatError
+from repro.data.placement import (
+    ClockNet,
+    PlacedCell,
+    Placement,
+    extract_clock_nets,
+    parse_placement_map,
+    save_placement_map,
+    synth_placement,
+)
+from repro.geometry import Point
+
+
+def _write(tmp_path, text):
+    path = tmp_path / "placement.map"
+    path.write_text(text)
+    return path
+
+
+GOOD = """\
+grid 4 4                       # fabric dims
+clk 0.0 7000.0
+cell_0 DFFQX1 120.0 340.0 -> core0.alu.r0_reg
+cell_1 DFFQX1 220.0 340.0 -> core0.alu.r1_reg
+cell_2 SDFFX1 220.0 440.0 -> core1.r0_reg
+buf_0  BUFX4  180.0 400.0 -> UNUSED
+fill_0 FILL   500.0 500.0 -> UNUSED
+"""
+
+
+class TestParse:
+    def test_good_file(self, tmp_path):
+        p = parse_placement_map(_write(tmp_path, GOOD))
+        assert p.num_cells == 5
+        assert p.grid == (4, 4)
+        assert p.io_ports == {"clk": Point(0.0, 7000.0)}
+        assert [c.name for c in p.sinks()] == ["cell_0", "cell_1", "cell_2"]
+        assert [c.name for c in p.free_buffers()] == ["buf_0"]
+        assert p.cells[0].location == Point(120.0, 340.0)
+        assert not p.cells[4].is_free_buffer  # FILL is not a buffer
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        text = "# header\n\n" + GOOD + "\n   # trailing\n"
+        assert parse_placement_map(_write(tmp_path, text)).num_cells == 5
+
+    @pytest.mark.parametrize(
+        ("line", "match"),
+        [
+            ("cell_9 DFF 1.0 -> a.b", "fabric cell needs"),
+            ("cell_9 DFF 1.0 2.0 3.0 -> a.b", "fabric cell needs"),
+            ("cell_9 DFF 1.0 2.0 ->", "one token"),
+            ("cell_9 DFF 1.0 2.0 -> two tokens", "one token"),
+            ("cell_9 DFF x 2.0 -> a.b", "not a number"),
+            ("cell_9 DFF 1.0 nan -> a.b", "not finite"),
+            ("cell_9 DFF 1.0 inf -> a.b", "not finite"),
+            ("cell_0 DFF 1.0 2.0 -> a.b", "duplicate cell name"),
+            ("clk 5.0 6.0", "duplicate I/O port"),
+            ("grid 8 8", "duplicate grid"),
+            ("port 1.0", "expected a fabric cell"),
+            ("a b c d e", "expected a fabric cell"),
+            ("port 1.0 oops", "not a number"),
+        ],
+    )
+    def test_malformed_line_raises_typed_error(self, tmp_path, line, match):
+        path = _write(tmp_path, GOOD + line + "\n")
+        with pytest.raises(FormatError, match=match) as err:
+            parse_placement_map(path)
+        # Every FormatError names the offending line.
+        assert ":8:" in str(err.value)
+
+    @pytest.mark.parametrize(
+        ("line", "match"),
+        [
+            ("grid 4", "grid needs"),
+            ("grid 4 4 4", "grid needs"),
+            ("grid 4 x", "must be integers"),
+            ("grid 4.5 4", "must be integers"),
+            ("grid 0 4", "must be positive"),
+            ("grid 4 -1", "must be positive"),
+        ],
+    )
+    def test_bad_grid_lines(self, tmp_path, line, match):
+        with pytest.raises(FormatError, match=match):
+            parse_placement_map(
+                _write(tmp_path, line + "\ncell_0 DFF 1.0 2.0 -> a\n")
+            )
+
+    def test_no_cells_is_an_error(self, tmp_path):
+        with pytest.raises(FormatError, match="no fabric cells"):
+            parse_placement_map(_write(tmp_path, "clk 0.0 1.0\n"))
+        with pytest.raises(FormatError, match="no fabric cells"):
+            parse_placement_map(_write(tmp_path, "# only comments\n"))
+
+
+_name = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,8}", fullmatch=True)
+_coord = st.floats(
+    min_value=-1e7, max_value=1e7, allow_nan=False, allow_infinity=False
+)
+_mapped = st.one_of(
+    st.just("UNUSED"),
+    st.from_regex(r"[a-z][a-z0-9]{0,5}(\.[a-z][a-z0-9_]{0,5}){0,2}",
+                  fullmatch=True),
+)
+
+
+@st.composite
+def placements(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    names = draw(
+        st.lists(_name, min_size=n, max_size=n, unique=True)
+    )
+    cells = tuple(
+        PlacedCell(
+            names[i],
+            draw(st.sampled_from(["DFFQX1", "BUFX4", "INVX2", "FILL"])),
+            draw(_coord),
+            draw(_coord),
+            draw(_mapped),
+        )
+        for i in range(n)
+    )
+    port_names = draw(
+        st.lists(_name, max_size=3, unique=True).filter(
+            lambda ps: not set(ps) & set(names)
+        )
+    )
+    ports = {p: Point(draw(_coord), draw(_coord)) for p in port_names}
+    grid = draw(
+        st.one_of(
+            st.none(),
+            st.tuples(st.integers(1, 100), st.integers(1, 100)),
+        )
+    )
+    return Placement(cells, ports, grid)
+
+
+class TestRoundTrip:
+    @given(placement=placements())
+    @settings(max_examples=60, deadline=None)
+    def test_save_parse_is_identity(self, placement, tmp_path_factory):
+        path = tmp_path_factory.mktemp("rt") / "p.map"
+        save_placement_map(placement, path)
+        assert parse_placement_map(path) == placement
+
+    @given(
+        nets=st.integers(min_value=1, max_value=12),
+        sinks=st.integers(min_value=1, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_synth_round_trips_and_is_deterministic(
+        self, nets, sinks, seed, tmp_path_factory
+    ):
+        p = synth_placement(nets, sinks, seed)
+        assert p == synth_placement(nets, sinks, seed)
+        path = tmp_path_factory.mktemp("synth") / "p.map"
+        save_placement_map(p, path)
+        assert parse_placement_map(path) == p
+
+
+class TestExtractClockNets:
+    def test_groups_by_hierarchical_prefix_in_file_order(self, tmp_path):
+        p = parse_placement_map(_write(tmp_path, GOOD))
+        nets = extract_clock_nets(p)
+        assert [n.name for n in nets] == ["core0", "core1"]
+        assert nets[0].num_sinks == 2 and nets[1].num_sinks == 1
+
+    def test_nearest_free_buffer_is_claimed_once(self, tmp_path):
+        p = parse_placement_map(_write(tmp_path, GOOD))
+        nets = extract_clock_nets(p)
+        # One free buffer for two nets: first net (file order) claims it,
+        # the second falls back to a synthetic centroid tap.
+        assert nets[0].driver == "buf_0"
+        assert nets[0].source == Point(180.0, 400.0)
+        assert nets[1].driver is None
+        assert nets[1].source == Point(220.0, 440.0)  # its centroid
+
+    def test_claim_buffers_off_uses_centroids(self, tmp_path):
+        p = parse_placement_map(_write(tmp_path, GOOD))
+        nets = extract_clock_nets(p, claim_buffers=False)
+        assert all(n.driver is None for n in nets)
+        assert nets[0].source == Point(170.0, 340.0)
+
+    def test_max_sinks_splits_groups(self):
+        p = synth_placement(nets=2, sinks_per_net=7, seed=1)
+        nets = extract_clock_nets(p, max_sinks=3)
+        assert [n.name for n in nets] == [
+            "net0000#0", "net0000#1", "net0000#2",
+            "net0001#0", "net0001#1", "net0001#2",
+        ]
+        assert [n.num_sinks for n in nets] == [3, 3, 1, 3, 3, 1]
+
+    def test_duplicate_sink_slots_are_deduped(self, tmp_path):
+        text = (
+            "a DFF 1.0 1.0 -> blk.r0\n"
+            "b DFF 1.0 1.0 -> blk.r1\n"   # same slot as a
+            "c DFF 2.0 2.0 -> blk.r2\n"
+        )
+        (net,) = extract_clock_nets(parse_placement_map(_write(tmp_path, text)))
+        assert net.sinks == (Point(1.0, 1.0), Point(2.0, 2.0))
+
+    def test_synth_sink_counts(self):
+        p = synth_placement(nets=5, sinks_per_net=4, seed=9)
+        nets = extract_clock_nets(p)
+        assert len(nets) == 5
+        assert all(n.num_sinks == 4 for n in nets)
+        assert all(n.driver is not None for n in nets[:1])
+
+    def test_synth_validation(self):
+        with pytest.raises(ValueError):
+            synth_placement(0, 4, 1)
+        with pytest.raises(ValueError):
+            synth_placement(4, 0, 1)
+
+
+class TestDataclasses:
+    def test_cell_type_prefixes(self):
+        dff = PlacedCell("a", "dffqx1", 0.0, 0.0, "x.y")
+        assert dff.is_sink  # prefix match is case-insensitive
+        assert not PlacedCell("b", "DFFQX1", 0, 0, "UNUSED").is_sink
+        assert PlacedCell("c", "CLKBUFX2", 0, 0, "UNUSED").is_free_buffer
+        assert not PlacedCell("d", "BUFX4", 0, 0, "used.net").is_free_buffer
+
+    def test_clock_net_counts(self):
+        net = ClockNet("n", Point(0, 0), (Point(1, 1), Point(2, 2)))
+        assert net.num_sinks == 2 and net.driver is None
